@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one of the paper's tables or figures via the
+experiment harness and asserts the paper's qualitative shape on the
+result.  pytest-benchmark times the regeneration itself; the printed
+medians are the cost of reproducing each artefact.
+
+Workloads and the fitted predictor are cached at session scope so each
+benchmark times the experiment, not the shared setup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.context import get_predictor, get_workload
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_caches():
+    """Pre-build the shared workloads and predictor once per session."""
+    for name in ("ddi", "collab", "ppa", "proteins", "arxiv", "products",
+                 "cora"):
+        get_workload(name, seed=0)
+    get_predictor(num_samples=800, seed=0)

@@ -1,0 +1,167 @@
+"""Benchmarks: the ablation studies beyond the paper's figures."""
+
+import pytest
+
+from repro.experiments import (
+    abl_allocator,
+    abl_crossbar_size,
+    abl_device_variation,
+    abl_features,
+    abl_isu_design,
+    abl_motivation,
+    abl_time_to_accuracy,
+)
+
+
+def test_abl_allocator(benchmark):
+    result = benchmark.pedantic(abl_allocator.run, rounds=1, iterations=1)
+    for dataset in sorted({r["dataset"] for r in result.rows}):
+        rows = {r["policy"]: r for r in result.rows
+                if r["dataset"] == dataset}
+        greedy = rows["greedy (Algorithm 1)"]
+        optimal = rows["exhaustive (DP stand-in)"]
+        assert greedy["makespan (us)"] <= 1.25 * optimal["makespan (us)"]
+        assert greedy["decision time (ms)"] < optimal["decision time (ms)"]
+
+
+def test_abl_isu_design(benchmark):
+    result = benchmark.pedantic(abl_isu_design.run, rounds=1, iterations=1)
+    period_rows = [r for r in result.rows
+                   if r["sweep"] == "abl-minor-period"]
+    cycles = [r["avg write cycles"] for r in period_rows]
+    assert all(a >= b for a, b in zip(cycles, cycles[1:]))
+    pulse_rows = [r for r in result.rows
+                  if r["sweep"] == "abl-write-pulses"]
+    gains = [r["ISU gain"] for r in pulse_rows]
+    assert gains[-1] > gains[0] > 1.0
+
+
+def test_abl_time_to_accuracy(benchmark):
+    result = benchmark.pedantic(
+        abl_time_to_accuracy.run, kwargs={"epochs": 16},
+        rounds=1, iterations=1,
+    )
+    rows = {r["system"]: r for r in result.rows}
+    # GoPIM reaches the 50% target in the least hardware time.
+    key = "time to 50% (ms)"
+    assert rows["GoPIM"][key] is not None
+    assert rows["GoPIM"][key] < rows["GoPIM-Vanilla"][key]
+    assert rows["GoPIM-Vanilla"][key] < rows["Serial"][key]
+
+
+def test_abl_device_variation(benchmark):
+    result = benchmark.pedantic(
+        abl_device_variation.run, kwargs={"epochs": 15},
+        rounds=1, iterations=1,
+    )
+    by_sigma = {r["sigma"]: r for r in result.rows}
+    # Graceful degradation: small sigma costs little, error grows with sigma.
+    assert by_sigma[0.01]["best accuracy"] > by_sigma[0.0]["best accuracy"] - 0.05
+    assert (by_sigma[0.1]["median MVM rel. error"]
+            > by_sigma[0.01]["median MVM rel. error"])
+
+
+def test_abl_crossbar_size(benchmark):
+    result = benchmark.pedantic(abl_crossbar_size.run, rounds=1, iterations=1)
+    assert all(r["speedup"] > 1.0 for r in result.rows)
+    sizes = [r["crossbar"] for r in result.rows]
+    assert "64x64" in sizes  # Table II's default is part of the sweep
+
+
+def test_abl_features(benchmark):
+    result = benchmark.pedantic(
+        abl_features.run, kwargs={"num_samples": 500},
+        rounds=1, iterations=1,
+    )
+    baseline = result.rows[0]
+    assert baseline["feature removed"] == "(none)"
+    # At least one feature's removal hurts clearly.
+    assert max(r["rmse increase"] for r in result.rows[1:]) > 0.01
+
+
+def test_abl_motivation(benchmark):
+    result = benchmark.pedantic(abl_motivation.run, rounds=1, iterations=1)
+    for row in result.rows:
+        # Aggregation dwarfs Combination on every dataset (Section III).
+        assert row["AG:CO ratio (max layer)"] > 2.0
+        # Once replicas shrink compute, updating dominates AG (the ISU
+        # motivation / the paper's 52% observation).
+        assert row["update share (replicated)"] > 0.2
+
+
+def test_abl_endurance(benchmark):
+    from repro.experiments import abl_endurance
+
+    result = benchmark.pedantic(abl_endurance.run, rounds=1, iterations=1)
+    for dataset in sorted({r["dataset"] for r in result.rows}):
+        rows = {r["scheme"]: r for r in result.rows
+                if r["dataset"] == dataset}
+        # Hubs wear the same everywhere; ISU extends the median row.
+        assert rows["ISU"]["worst-row epochs"] == rows["full"]["worst-row epochs"]
+        assert rows["ISU"]["median-row epochs"] >= rows["full"]["median-row epochs"]
+        assert rows["ISU"]["mean writes/epoch"] < rows["full"]["mean writes/epoch"]
+
+
+def test_abl_samples(benchmark):
+    from repro.experiments import abl_samples
+
+    result = benchmark.pedantic(
+        abl_samples.run, kwargs={"sample_counts": (100, 400, 1200)},
+        rounds=1, iterations=1,
+    )
+    rmses = result.column("held-out RMSE")
+    # More samples never hurt much; the curve flattens (the paper's
+    # justification for stopping at 2,200).
+    assert rmses[-1] <= rmses[0]
+    assert rmses[-1] > 0.0
+
+
+def test_abl_quantization(benchmark):
+    from repro.experiments import abl_quantization
+
+    result = benchmark.pedantic(abl_quantization.run, rounds=1, iterations=1)
+    by_precision = {r["precision"]: r for r in result.rows}
+    gaps = {p: r["gap vs software"] for p, r in by_precision.items()}
+    two_bit = next(v for k, v in gaps.items() if k.startswith("2-bit"))
+    eight_bit = next(v for k, v in gaps.items() if k.startswith("8-bit"))
+    # Precision DSE shape: 2-bit cells degrade, 8-bit is near-lossless.
+    assert two_bit > eight_bit
+    assert eight_bit < 0.05
+
+
+def test_abl_scheduler(benchmark):
+    from repro.experiments import abl_scheduler
+
+    result = benchmark.pedantic(abl_scheduler.run, rounds=1, iterations=1)
+    completion = {
+        r["policy"]: r["makespan (ms)"] for r in result.rows
+        if r["job"] == "(completion)"
+    }
+    assert completion["greedy-split"] <= completion["equal-split"] * 1.05
+
+
+def test_abl_weight_staleness(benchmark):
+    from repro.experiments import abl_weight_staleness
+
+    result = benchmark.pedantic(
+        abl_weight_staleness.run, kwargs={"delays": (0, 1, 8)},
+        rounds=1, iterations=1,
+    )
+    drops = {r["delay (updates)"]: r["drop vs synchronous"]
+             for r in result.rows}
+    # One update of staleness is nearly free; eight clearly is not.
+    assert drops[1] < 0.05
+    assert drops[8] > drops[1]
+
+
+def test_abl_model_family(benchmark):
+    from repro.experiments import abl_model_family
+
+    result = benchmark.pedantic(abl_model_family.run, rounds=1, iterations=1)
+    by_family = {r["family"]: r for r in result.rows}
+    for family in ("GCN", "GraphSAGE"):
+        row = by_family[family]
+        # GoPIM's benefits carry across families.
+        assert row["speedup vs Serial"] > 50.0
+        assert row["energy saving"] > 1.5
+        assert abs(row["ISU impact (points)"]) < 12.0

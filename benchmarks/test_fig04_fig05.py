@@ -1,0 +1,20 @@
+"""Benchmarks: Fig. 4 (idle profile) and Fig. 5 (allocation example)."""
+
+import pytest
+
+from repro.experiments import fig04_idle, fig05_example
+
+
+def test_fig04_idle_profile(benchmark):
+    result = benchmark(fig04_idle.run)
+    # Paper shape: CO pools (~98% idle) idler than AG pools, all datasets.
+    for row in result.rows:
+        co_columns = [v for k, v in row.items() if "(CO" in k]
+        ag_columns = [v for k, v in row.items() if "(AG" in k]
+        assert min(co_columns) > max(ag_columns)
+        assert min(co_columns) > 70.0
+
+
+def test_fig05_allocation_example(benchmark):
+    result = benchmark(fig05_example.run)
+    assert result.column("makespan (units)") == [52.0, 18.0, 16.0]

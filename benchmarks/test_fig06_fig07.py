@@ -1,0 +1,21 @@
+"""Benchmarks: Fig. 6 (per-crossbar degrees) and Fig. 7 (OSU vs ISU)."""
+
+from repro.experiments import fig06_degree, fig07_osu
+
+
+def test_fig06_degree_spread(benchmark):
+    result = benchmark(fig06_degree.run)
+    for row in result.rows:
+        # Index mapping skewed; interleaved mapping flat (paper shape).
+        assert row["index spread"] > 2.0
+        assert row["interleaved spread"] < 0.5 * row["index spread"]
+
+
+def test_fig07_osu_vs_isu(benchmark):
+    result = benchmark(fig07_osu.run)
+    toy = result.rows[0]
+    assert (toy["full update cycles"], toy["OSU cycles"],
+            toy["ISU cycles"]) == (4, 4, 2)
+    for row in result.rows[1:]:
+        assert row["OSU cycles"] > 0.85 * row["full update cycles"]
+        assert row["ISU cycles"] < 0.7 * row["full update cycles"]

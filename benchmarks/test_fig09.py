@@ -1,0 +1,24 @@
+"""Benchmark: Fig. 9 (predictor model selection sweeps)."""
+
+from repro.experiments import fig09_predictor
+
+
+def test_fig09_predictor_selection(benchmark):
+    result = benchmark.pedantic(
+        fig09_predictor.run, kwargs={"num_samples": 800},
+        rounds=1, iterations=1,
+    )
+    zoo = {
+        r["config"]: r["rmse"] for r in result.rows if r["panel"] == "a"
+    }
+    # Paper: the MLP outperforms the other families.
+    assert zoo["MLP"] <= min(zoo.values()) * 1.15
+    depths = {
+        r["config"]: r["rmse"] for r in result.rows if r["panel"] == "b"
+    }
+    # Depth 3 within striking distance of the best depth (paper: best).
+    assert depths["3-layer MLP"] <= min(depths.values()) * 1.3
+    widths = {
+        r["config"]: r["rmse"] for r in result.rows if r["panel"] == "c"
+    }
+    assert widths["256x256 hidden"] <= min(widths.values()) * 1.3

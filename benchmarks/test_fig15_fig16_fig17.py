@@ -1,0 +1,47 @@
+"""Benchmarks: Fig. 15 (idle vs batch), Fig. 16 (sensitivity), Fig. 17."""
+
+from repro.experiments import (
+    fig15_idle_batch,
+    fig16_sensitivity,
+    fig17_scalability,
+)
+
+
+def test_fig15_idle_vs_batch(benchmark):
+    result = benchmark.pedantic(fig15_idle_batch.run, rounds=1, iterations=1)
+    for row in result.rows:
+        # Paper: GoPIM cuts the average idle percentage at every batch
+        # size (by ~47-52 points at paper scale; less at reproduction
+        # scale where fewer micro-batches fill the pipeline).
+        assert row["reduction (points)"] > 5.0
+
+
+def test_fig16_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        fig16_sensitivity.run,
+        kwargs={"epochs": 25, "thetas": (0.3, 0.5, 0.8)},
+        rounds=1, iterations=1,
+    )
+    for panel, optimum in (("a (ddi, dense)", 0.5), ("b (Cora, sparse)", 0.8)):
+        rows = [r for r in result.rows if r["panel"] == panel]
+        at_optimum = next(
+            r for r in rows
+            if r["strategy"] == "ISU" and r["theta"] == optimum
+        )
+        # Paper: <1% drop at the adaptive optimum; we allow the scaled
+        # graphs a few points of noise.
+        assert at_optimum["drop vs full"] < 0.08
+    batch_rows = [r for r in result.rows if r["panel"] == "c (batch size)"]
+    assert batch_rows[1]["speedup"] > batch_rows[0]["speedup"]
+
+
+def test_fig17_scalability(benchmark):
+    result = benchmark.pedantic(fig17_scalability.run, rounds=1, iterations=1)
+    dim_rows = [r for r in result.rows if r["panel"] == "a (dimension)"]
+    speedups = [r["speedup"] for r in dim_rows]
+    # Paper: speedups persist across dimensions but taper off.
+    assert all(s > 1.0 for s in speedups)
+    assert speedups[-1] < speedups[0]
+    products = next(r for r in result.rows if r["panel"] == "b (products)")
+    assert products["speedup"] > 1.0
+    assert products["energy saving"] > 1.0

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Study the ML execution-time predictor (the Fig. 9 / Table VII side).
+
+1. generates a predictor training set from random workloads;
+2. compares the regression-model zoo (Fig. 9a);
+3. sweeps MLP depth and width (Fig. 9b/c);
+4. checks generalisation to an unseen paper dataset (Section VII-G);
+5. compares the ML route against profiling on end-to-end speedups
+   (Table VII).
+
+Usage::
+
+    python examples/predictor_study.py [num_samples]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.predictor import (
+    compare_models,
+    generate_dataset,
+    leave_one_dataset_out,
+    sweep_mlp_depth,
+    sweep_mlp_width,
+)
+from repro.experiments import tab07_ml_vs_profiling
+
+
+def main() -> None:
+    num_samples = int(sys.argv[1]) if len(sys.argv) > 1 else 800
+    print(f"Generating {num_samples} predictor training samples...")
+    dataset = generate_dataset(num_samples=num_samples, random_state=0)
+
+    print("\nFig. 9(a) - model zoo held-out RMSE (lower is better):")
+    for name, rmse in sorted(
+        compare_models(dataset=dataset).items(), key=lambda kv: kv[1],
+    ):
+        print(f"  {name:>6}: {rmse:.4f}")
+
+    print("\nFig. 9(b) - MLP depth sweep:")
+    for depth, rmse in sweep_mlp_depth(dataset=dataset).items():
+        print(f"  {depth} layers: {rmse:.4f}")
+
+    print("\nFig. 9(c) - hidden width sweep:")
+    for width, rmse in sweep_mlp_width(dataset=dataset).items():
+        print(f"  {width:>4} neurons: {rmse:.4f}")
+
+    print("\nGeneralisation to unseen datasets (paper: 93.4% average):")
+    for name in ("cora", "ddi"):
+        result = leave_one_dataset_out(name, train_samples=num_samples)
+        print(f"  {name}: {result.accuracy:.1%}")
+
+    print("\nTable VII - ML vs profiling on end speedups:")
+    table = tab07_ml_vs_profiling.run(datasets=("ddi", "collab"))
+    print(table.to_markdown())
+
+
+if __name__ == "__main__":
+    main()

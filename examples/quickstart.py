@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: plan and simulate GoPIM on the ddi workload.
+
+Runs the full GoPIM flow end-to-end:
+
+1. generate the synthetic ddi stand-in graph (Table III statistics);
+2. train the ML time predictor on generated samples;
+3. let GoPIM predict stage times, allocate crossbar replicas
+   (Algorithm 1) and build the ISU update plan;
+4. simulate one training epoch and compare against the Serial baseline.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import GoPIMSystem, workload_from_dataset
+from repro.accelerators import serial
+from repro.experiments import experiment_config, get_predictor
+from repro.units import format_energy, format_time
+
+
+def main() -> None:
+    config = experiment_config()
+    print("Training the execution-time predictor (one-off)...")
+    predictor = get_predictor(num_samples=800, seed=0)
+
+    system = GoPIMSystem(config=config, predictor=predictor)
+    workload = workload_from_dataset("ddi", random_state=0)
+    print(f"Workload: {workload.graph}")
+
+    plan = system.plan(workload)
+    print(f"\nAdaptive update threshold theta = {plan.theta:.0%}")
+    print("Predicted stage times and allocated replicas:")
+    for name, replicas in zip(
+        plan.allocation.problem.stage_names, plan.replicas,
+    ):
+        predicted = plan.predicted_times_ns[name]
+        print(f"  {name}: predicted {format_time(predicted)}, "
+              f"{int(replicas)} replicas")
+
+    print("\nSimulating one training epoch...")
+    gopim_report = system.simulate(workload)
+    serial_report = serial().run(workload, config)
+
+    speedup = serial_report.total_time_ns / gopim_report.total_time_ns
+    saving = serial_report.energy_pj / gopim_report.energy_pj
+    print(f"  Serial: {format_time(serial_report.total_time_ns)}, "
+          f"{format_energy(serial_report.energy_pj)}")
+    print(f"  GoPIM:  {format_time(gopim_report.total_time_ns)}, "
+          f"{format_energy(gopim_report.energy_pj)}")
+    print(f"  Speedup {speedup:.1f}x, energy saving {saving:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

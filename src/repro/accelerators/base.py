@@ -1,0 +1,289 @@
+"""AcceleratorModel: dataset + model + hardware -> time, energy, trace.
+
+Every evaluated system (Serial, SlimGNN-like, ReGraphX, ReFlip,
+GoPIM-Vanilla, GoPIM, and the Fig. 14 ablation variants) is one
+:class:`AcceleratorModel` configuration: a pipeline schedule, a replica
+allocation policy, an update strategy, and optional quirks (ReFlip's
+reload penalty, SlimGNN's input pruning).  ``run`` produces an
+:class:`AcceleratorReport` with the makespan, a full energy breakdown, the
+per-stage idle fractions, and the replica assignment.
+
+Energy accounting (matching Fig. 13b/14b's structure):
+
+* dynamic MVM/write energy comes from per-(stage, micro-batch) activity
+  counts — nearly schedule-independent, except ISU cuts write events and
+  ReFlip adds reload writes;
+* idle leakage charges every reserved crossbar for the time its pool is
+  not busy — the term pipelining and replica balancing attack;
+* static chip power (controller, weight computer) integrates over the
+  makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.allocation.problem import AllocationProblem, AllocationResult
+from repro.errors import ConfigError
+from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
+from repro.hardware.crossbar import CrossbarStats
+from repro.hardware.energy import EnergyBreakdown, EnergyModel
+from repro.hardware.noc import MeshNoc
+from repro.mapping.selective import UpdatePlan, build_update_plan
+from repro.pipeline.simulator import (
+    PipelineResult,
+    ScheduleMode,
+    simulate_pipeline,
+)
+from repro.stages.latency import StageTimingModel, TimingParams
+from repro.stages.workload import Workload
+
+AllocatorFn = Callable[[AllocationProblem], AllocationResult]
+
+
+@dataclass
+class AcceleratorReport:
+    """Everything one accelerator run produces."""
+
+    accelerator: str
+    workload: str
+    total_time_ns: float
+    energy: EnergyBreakdown
+    pipeline: PipelineResult
+    allocation: Optional[AllocationResult]
+    stage_names: List[str]
+    replicas: np.ndarray
+    crossbars_reserved: int
+
+    @property
+    def energy_pj(self) -> float:
+        """Total energy in pJ."""
+        return self.energy.total_pj
+
+    def idle_fractions(self) -> np.ndarray:
+        """Per-stage crossbar-pool idle fractions (Fig. 4 / Fig. 15)."""
+        return self.pipeline.idle_fractions()
+
+
+def _serial_allocator(problem: AllocationProblem) -> AllocationResult:
+    return AllocationResult(
+        problem=problem,
+        replicas=np.ones(problem.num_stages, dtype=np.int64),
+        strategy="serial",
+    )
+
+
+@dataclass
+class AcceleratorModel:
+    """One accelerator design point.
+
+    Attributes
+    ----------
+    name:
+        Report label (``"GoPIM"``, ``"Serial"``, ...).
+    schedule:
+        Pipeline regime.
+    allocator:
+        Replica allocation policy over an :class:`AllocationProblem`.
+    update_strategy:
+        ``"full"`` / ``"osu"`` / ``"isu"`` vertex updating.
+    timing_params:
+        Latency-model constants (ReFlip overrides ``reload_penalty``).
+    predicted_times:
+        Optional stage-name -> predicted-time map fed to the allocator
+        instead of the true model times (GoPIM's ML predictor path).
+    prune_graph:
+        SlimGNN-like input-subgraph pruning applied to AG/GC edge work.
+    microbatches_per_batch:
+        Batch granularity for INTRA_BATCH pipeline drains.
+    """
+
+    name: str
+    schedule: ScheduleMode = ScheduleMode.INTRA_INTER
+    allocator: AllocatorFn = _serial_allocator
+    update_strategy: str = "full"
+    timing_params: TimingParams = field(default_factory=TimingParams)
+    predicted_times: Optional[Dict[str, float]] = None
+    time_predictor: Optional[object] = None  # repro.predictor.TimePredictor
+    prune_graph: bool = False
+    microbatches_per_batch: int = 4
+    theta: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def build_timing_model(
+        self,
+        workload: Workload,
+        config: HardwareConfig = DEFAULT_CONFIG,
+    ) -> StageTimingModel:
+        """The timing model this accelerator runs against."""
+        effective_workload = workload
+        if self.prune_graph:
+            from repro.graphs.sparsify import sparsify_by_degree
+            from repro.mapping.selective import adaptive_theta
+
+            theta = self.theta or adaptive_theta(workload.graph)
+            pruned = sparsify_by_degree(workload.graph, theta, mode="either")
+            effective_workload = Workload(
+                graph=pruned,
+                layer_dims=workload.layer_dims,
+                micro_batch=workload.micro_batch,
+                name=workload.name,
+            )
+        plan = build_update_plan(
+            effective_workload.graph,
+            strategy=self.update_strategy,
+            theta=self.theta,
+            rows_per_crossbar=config.crossbar_rows,
+        )
+        return StageTimingModel(
+            effective_workload, config=config,
+            params=self.timing_params, update_plan=plan,
+        )
+
+    def _build_problem(
+        self,
+        timing: StageTimingModel,
+        config: HardwareConfig,
+    ) -> AllocationProblem:
+        workload = timing.workload
+        stages = timing.stages
+        names = [s.name for s in stages]
+        crossbars = np.array(
+            [timing.crossbars_per_replica(s) for s in stages], dtype=np.int64,
+        )
+        caps = np.array(
+            [timing.max_useful_replicas(s) for s in stages], dtype=np.int64,
+        )
+        true_times = np.array(
+            [timing.mean_stage_time_ns(s, 1) - self._floor(timing, s)
+             for s in stages],
+        )
+        floors = np.array([self._floor(timing, s) for s in stages])
+        predicted = self.predicted_times
+        if predicted is None and self.time_predictor is not None:
+            predicted = self.time_predictor.predict_stage_times(workload)
+        if predicted is not None:
+            times = np.array([
+                max(predicted.get(name, t) - f, 1e-3)
+                for name, t, f in zip(names, true_times, floors)
+            ])
+        else:
+            times = np.maximum(true_times, 1e-3)
+        mandatory = int(crossbars.sum())
+        budget = config.total_crossbars - mandatory
+        if budget < 0:
+            raise ConfigError(
+                f"workload needs {mandatory} crossbars; budget is "
+                f"{config.total_crossbars}"
+            )
+        return AllocationProblem(
+            stage_names=names,
+            times_ns=times,
+            crossbars_per_replica=crossbars,
+            budget=budget,
+            replica_caps=caps,
+            num_microbatches=workload.num_microbatches,
+            fixed_floors_ns=floors,
+        )
+
+    @staticmethod
+    def _floor(timing: StageTimingModel, stage) -> float:
+        """Replica-independent latency floor (update writes + reloads)."""
+        workload = timing.workload
+        total = 0.0
+        for mb in range(workload.num_microbatches):
+            total += timing.write_time_ns(stage, mb)
+            total += timing.reload_time_ns(stage, mb)
+        return total / workload.num_microbatches
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workload: Workload,
+        config: HardwareConfig = DEFAULT_CONFIG,
+    ) -> AcceleratorReport:
+        """Simulate one training epoch and account time + energy."""
+        timing = self.build_timing_model(workload, config)
+        effective = timing.workload
+        stages = timing.stages
+        problem = self._build_problem(timing, config)
+        allocation = self.allocator(problem)
+        replicas = allocation.replicas
+
+        num_mbs = effective.num_microbatches
+        times = np.empty((len(stages), num_mbs))
+        for i, stage in enumerate(stages):
+            r = int(replicas[i])
+            for mb in range(num_mbs):
+                times[i, mb] = timing.microbatch_time_ns(stage, mb, r)
+
+        pipeline = simulate_pipeline(
+            times, mode=self.schedule,
+            microbatches_per_batch=self.microbatches_per_batch,
+        )
+        energy = self._energy(timing, pipeline, replicas, config)
+        return AcceleratorReport(
+            accelerator=self.name,
+            workload=workload.name,
+            total_time_ns=pipeline.total_time_ns,
+            energy=energy,
+            pipeline=pipeline,
+            allocation=allocation,
+            stage_names=[s.name for s in stages],
+            replicas=np.asarray(replicas),
+            crossbars_reserved=int(
+                (replicas * problem.crossbars_per_replica).sum()
+            ),
+        )
+
+    def _energy(
+        self,
+        timing: StageTimingModel,
+        pipeline: PipelineResult,
+        replicas: np.ndarray,
+        config: HardwareConfig,
+    ) -> EnergyBreakdown:
+        model = EnergyModel(config)
+        noc = MeshNoc(config)
+        workload = timing.workload
+        total = EnergyBreakdown()
+        makespan = pipeline.total_time_ns
+        for i, stage in enumerate(timing.stages):
+            pool_size = int(replicas[i]) * timing.crossbars_per_replica(stage)
+            stats = CrossbarStats()
+            buffer_bytes = 0.0
+            offchip_bytes = 0.0
+            for mb in range(workload.num_microbatches):
+                act = timing.activity(stage, mb)
+                stats.mvm_reads += act.mvm_row_streams
+                # Replica copies refresh round-robin (one copy per update
+                # round) rather than all at once — replicas then serve
+                # bounded-stale features, consistent with ISU's staleness
+                # budget — so write energy does not scale with the replica
+                # count.
+                stats.row_writes += act.rows_written
+                buffer_bytes += act.buffer_bytes
+                offchip_bytes += act.offchip_bytes
+            # ADC/DAC peripherals draw power while converting, i.e. during
+            # MVM activations.  The crossbar-busy integral is the logical
+            # activation count times the MVM latency — invariant to how
+            # many replicas or intrinsically-parallel tiles spread the
+            # work.  Write rounds are charged per event instead.
+            busy_pool_ns = float(pipeline.stage_busy_ns[i])
+            stats.busy_ns = stats.mvm_reads * config.mvm_latency_ns
+            total.merge(model.crossbar_activity_energy(
+                stats, crossbars_active=timing.crossbars_per_replica(stage),
+            ))
+            idle_ns = max(0.0, makespan - busy_pool_ns) * pool_size
+            total.merge(model.idle_energy(idle_ns))
+            total.merge(model.buffer_energy(buffer_bytes))
+            total.merge(model.offchip_energy(offchip_bytes))
+            # Inter-tile handoff of this stage's outputs (adders + bus,
+            # Fig. 8); latency overlaps with compute, energy does not.
+            _, noc_pj = noc.stage_handoff_cost(buffer_bytes, pool_size)
+            total.merge(EnergyBreakdown(buffer_pj=noc_pj))
+        total.merge(model.static_energy(makespan))
+        return total

@@ -1,0 +1,79 @@
+"""Detailed per-run reports: stage tables, energy breakdowns, markdown.
+
+Turns an :class:`~repro.accelerators.base.AcceleratorReport` into the
+artefacts a designer reads: a per-stage table (replicas, crossbars, busy
+and idle shares), the energy breakdown by category, and a one-paragraph
+summary.  Used by the CLI's ``simulate --detail`` and by notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.accelerators.base import AcceleratorReport
+from repro.units import format_energy, format_time
+
+
+def stage_table(report: AcceleratorReport) -> List[Dict[str, object]]:
+    """One row per stage: replicas, crossbars, busy/idle fractions."""
+    rows: List[Dict[str, object]] = []
+    busy = report.pipeline.stage_busy_ns
+    total = report.total_time_ns
+    per_replica = report.allocation.problem.crossbars_per_replica
+    for i, name in enumerate(report.stage_names):
+        rows.append({
+            "stage": name,
+            "replicas": int(report.replicas[i]),
+            "crossbars": int(report.replicas[i] * per_replica[i]),
+            "busy": float(busy[i]),
+            "busy_fraction": float(min(1.0, busy[i] / total)) if total else 0.0,
+            "idle_fraction": report.pipeline.idle_fraction(i),
+        })
+    return rows
+
+
+def energy_table(report: AcceleratorReport) -> List[Dict[str, object]]:
+    """Energy categories sorted by contribution."""
+    breakdown = report.energy.as_dict()
+    total = breakdown.pop("total_pj")
+    rows = [
+        {
+            "category": key.replace("_pj", ""),
+            "energy_pj": value,
+            "share": value / total if total > 0 else 0.0,
+        }
+        for key, value in breakdown.items()
+    ]
+    rows.sort(key=lambda r: -r["energy_pj"])
+    return rows
+
+
+def render_report(report: AcceleratorReport) -> str:
+    """Full markdown report for one accelerator run."""
+    lines = [
+        f"# {report.accelerator} on {report.workload}",
+        "",
+        f"* makespan: **{format_time(report.total_time_ns)}**",
+        f"* energy: **{format_energy(report.energy_pj)}**",
+        f"* crossbars reserved: **{report.crossbars_reserved:,}**",
+        "",
+        "## Stages",
+        "",
+        "| stage | replicas | crossbars | busy | busy % | idle % |",
+        "|---|---|---|---|---|---|",
+    ]
+    for row in stage_table(report):
+        lines.append(
+            f"| {row['stage']} | {row['replicas']} | {row['crossbars']:,} "
+            f"| {format_time(row['busy'])} "
+            f"| {100 * row['busy_fraction']:.1f} "
+            f"| {100 * row['idle_fraction']:.1f} |"
+        )
+    lines.extend(["", "## Energy", "",
+                  "| category | energy | share |", "|---|---|---|"])
+    for row in energy_table(report):
+        lines.append(
+            f"| {row['category']} | {format_energy(row['energy_pj'])} "
+            f"| {100 * row['share']:.1f}% |"
+        )
+    return "\n".join(lines) + "\n"

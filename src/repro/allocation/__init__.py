@@ -1,0 +1,24 @@
+"""Crossbar resource allocation: Algorithm 1 and baseline policies."""
+
+from repro.allocation.heap import IndexedMaxHeap
+from repro.allocation.problem import AllocationProblem, AllocationResult
+from repro.allocation.greedy import greedy_allocation
+from repro.allocation.baselines import (
+    combination_only_allocation,
+    exhaustive_allocation,
+    fixed_ratio_allocation,
+    serial_allocation,
+    uniform_allocation,
+)
+
+__all__ = [
+    "IndexedMaxHeap",
+    "AllocationProblem",
+    "AllocationResult",
+    "greedy_allocation",
+    "combination_only_allocation",
+    "exhaustive_allocation",
+    "fixed_ratio_allocation",
+    "serial_allocation",
+    "uniform_allocation",
+]

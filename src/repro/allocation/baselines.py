@@ -1,0 +1,190 @@
+"""Baseline crossbar-allocation policies the paper compares against.
+
+* :func:`uniform_allocation` — PipeLayer [42]: the same replica count for
+  every stage (also the behaviour of SlimGNN-like's space-proportional
+  policy: giving each stage crossbars proportional to its footprint yields
+  equal replica counts).
+* :func:`fixed_ratio_allocation` — ReGraphX [2]: a fixed CO:AG crossbar
+  ratio (1:2), applied between the weight-mapped (CO/LC) and
+  feature-mapped (AG/GC) stage families.
+* :func:`combination_only_allocation` — ReFlip [23]: replicas only for
+  Combination-family stages.
+* :func:`exhaustive_allocation` — a T_max-sweep exact(-ish) optimiser
+  standing in for the dynamic-programming allocators of prior work (the
+  paper's [27]); orders of magnitude slower than Algorithm 1 but a useful
+  optimality reference for tests and the Table VII-style overhead story.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.allocation.greedy import greedy_allocation
+from repro.allocation.problem import AllocationProblem, AllocationResult
+
+
+def serial_allocation(problem: AllocationProblem) -> AllocationResult:
+    """No replicas anywhere (the Serial baseline)."""
+    return AllocationResult(
+        problem=problem,
+        replicas=np.ones(problem.num_stages, dtype=np.int64),
+        strategy="serial",
+    )
+
+
+def uniform_allocation(problem: AllocationProblem) -> AllocationResult:
+    """Same replica count for all stages, as large as the budget allows."""
+    costs = problem.crossbars_per_replica
+    caps = problem.replica_caps
+    per_round = int(costs.sum())
+    # Binary search the largest uniform count r with sum((min(r,cap)-1)*X)
+    # within budget.
+    lo, hi = 1, max(1, int(problem.budget // per_round) + 1 + int(caps.max()))
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        cost = int(((np.minimum(mid, caps) - 1) * costs).sum())
+        if cost <= problem.budget:
+            lo = mid
+        else:
+            hi = mid - 1
+    replicas = np.minimum(lo, caps).astype(np.int64)
+    return AllocationResult(problem=problem, replicas=replicas, strategy="uniform")
+
+
+def fixed_ratio_allocation(
+    problem: AllocationProblem,
+    weight_stage_share: float = 1.0,
+    feature_stage_share: float = 2.0,
+    feature_stage_names: Sequence[str] = ("AG", "GC"),
+) -> AllocationResult:
+    """ReGraphX's fixed CO:AG = 1:2 crossbar split.
+
+    The budget is divided between the two stage families in the given
+    ratio; within a family every stage gets an equal crossbar share,
+    converted to replicas by its per-replica cost.
+    """
+    names = problem.stage_names
+    is_feature = np.array([
+        any(name.startswith(prefix) for prefix in feature_stage_names)
+        for name in names
+    ])
+    total_share = weight_stage_share + feature_stage_share
+    family_budget = {
+        True: problem.budget * feature_stage_share / total_share,
+        False: problem.budget * weight_stage_share / total_share,
+    }
+    replicas = np.ones(problem.num_stages, dtype=np.int64)
+    for family in (True, False):
+        members = np.flatnonzero(is_feature == family)
+        if members.size == 0:
+            continue
+        share = family_budget[family] / members.size
+        for stage in members:
+            extra = int(share // problem.crossbars_per_replica[stage])
+            replicas[stage] = min(
+                1 + extra, int(problem.replica_caps[stage]),
+            )
+    # The floor() conversions guarantee the budget is respected.
+    return AllocationResult(
+        problem=problem, replicas=replicas, strategy="fixed-ratio-1:2",
+    )
+
+
+def combination_only_allocation(problem: AllocationProblem) -> AllocationResult:
+    """ReFlip: replicas only for Combination-family (CO/LC) stages."""
+    names = problem.stage_names
+    weight_members = np.flatnonzero(np.array([
+        name.startswith(("CO", "LC")) for name in names
+    ]))
+    replicas = np.ones(problem.num_stages, dtype=np.int64)
+    if weight_members.size:
+        share = problem.budget / weight_members.size
+        for stage in weight_members:
+            extra = int(share // problem.crossbars_per_replica[stage])
+            replicas[stage] = min(
+                1 + extra, int(problem.replica_caps[stage]),
+            )
+    return AllocationResult(
+        problem=problem, replicas=replicas, strategy="combination-only",
+    )
+
+
+def exhaustive_allocation(problem: AllocationProblem) -> AllocationResult:
+    """T_max-sweep optimiser (dynamic-programming stand-in).
+
+    For every candidate bottleneck time (each stage's time at each feasible
+    replica count), compute the cheapest assignment achieving it, spend any
+    leftover budget with the plain greedy, and keep the best makespan.
+    Complexity is O(sum(caps) * S) — fine for tests, far too slow for the
+    multi-day scales the paper quotes for real DP on *products*.
+    """
+    floors = (
+        problem.fixed_floors_ns
+        if problem.fixed_floors_ns is not None
+        else np.zeros(problem.num_stages)
+    )
+    candidates = set()
+    for stage in range(problem.num_stages):
+        cap = int(problem.replica_caps[stage])
+        base = problem.times_ns[stage]
+        # Sample replica counts geometrically to bound the sweep size.
+        r = 1
+        while r <= cap:
+            candidates.add(base / r + floors[stage])
+            r = max(r + 1, int(r * 1.1))
+        candidates.add(base / cap + floors[stage])
+
+    best: AllocationResult = serial_allocation(problem)
+    best_makespan = best.makespan_ns
+    for t_max in sorted(candidates, reverse=True):
+        replicas = np.ones(problem.num_stages, dtype=np.int64)
+        feasible = True
+        for stage in range(problem.num_stages):
+            need = problem.times_ns[stage]
+            available = t_max - floors[stage]
+            if need <= 0:
+                continue
+            if available <= 0:
+                feasible = False
+                break
+            required = int(np.ceil(need / available))
+            if required > problem.replica_caps[stage]:
+                feasible = False
+                break
+            replicas[stage] = max(1, required)
+        if not feasible:
+            continue
+        cost = problem.crossbar_cost(replicas)
+        if cost > problem.budget:
+            continue
+        # Spend the leftover on the plain sum-term greedy.
+        sub_problem = AllocationProblem(
+            stage_names=problem.stage_names,
+            times_ns=problem.times_ns / replicas,
+            crossbars_per_replica=problem.crossbars_per_replica,
+            budget=problem.budget - cost,
+            replica_caps=np.maximum(
+                1, problem.replica_caps // np.maximum(replicas, 1)
+            ),
+            num_microbatches=problem.num_microbatches,
+            fixed_floors_ns=problem.fixed_floors_ns,
+        )
+        refined = greedy_allocation(sub_problem, include_max_bonus=True)
+        # Compose additively: each extra replica bought in the sub-problem
+        # costs the same X, so the combined cost never exceeds the budget.
+        combined = np.minimum(
+            replicas + (refined.replicas - 1), problem.replica_caps,
+        )
+        candidate = AllocationResult(
+            problem=problem, replicas=combined, strategy="exhaustive",
+        )
+        if candidate.makespan_ns < best_makespan:
+            best_makespan = candidate.makespan_ns
+            best = candidate
+    if best.strategy != "exhaustive":
+        best = AllocationResult(
+            problem=problem, replicas=best.replicas, strategy="exhaustive",
+        )
+    return best

@@ -1,0 +1,130 @@
+"""Algorithm 1: max-heap based greedy crossbar allocation (Section V-B).
+
+Two indexed max-heaps drive the loop, exactly as in the paper:
+
+* ``H_p`` holds each stage's current effective execution time — its top is
+  the pipeline's longest stage, the one whose time multiplies ``(B-1)`` in
+  Eq. (6);
+* ``H_v`` holds each stage's *adjust value*: the makespan reduction per
+  crossbar of buying one more replica.
+
+Each iteration considers the best plain candidate (``H_v.top``) and the
+longest stage (``H_p.top``, whose replica also shrinks the ``(B-1)*T_max``
+term), buys one replica for the better of the two, updates both heaps
+top-down, and decrements the free-crossbar budget — repeating until the
+budget is exhausted or no stage can improve (cap reached / unaffordable).
+
+Decision time is O(total replicas x log S), versus the multi-day dynamic
+programming of prior work (the paper's [27]); the DP stand-in lives in
+:mod:`repro.allocation.baselines` for the overhead comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.allocation.heap import IndexedMaxHeap
+from repro.allocation.problem import AllocationProblem, AllocationResult
+
+
+def _marginal_time_gain(problem: AllocationProblem, stage: int, replicas: int) -> float:
+    """Per-micro-batch time saved by the stage's next replica (0 at cap)."""
+    cap = int(problem.replica_caps[stage])
+    if replicas >= cap:
+        return 0.0
+    base = problem.times_ns[stage]
+    return base / replicas - base / (replicas + 1)
+
+
+def greedy_allocation(
+    problem: AllocationProblem,
+    include_max_bonus: bool = True,
+) -> AllocationResult:
+    """Run Algorithm 1 and return the replica assignment.
+
+    ``include_max_bonus=False`` drops the ``(B-1) * T_max`` term from the
+    adjust values (used by the exhaustive baseline's refinement step and
+    by ablation benchmarks).
+    """
+    n = problem.num_stages
+    replicas = np.ones(n, dtype=np.int64)
+    budget = problem.budget
+    floors = (
+        problem.fixed_floors_ns
+        if problem.fixed_floors_ns is not None
+        else np.zeros(n)
+    )
+
+    def effective_time(stage: int) -> float:
+        return problem.times_ns[stage] / replicas[stage] + floors[stage]
+
+    heap_v = IndexedMaxHeap()
+    heap_p = IndexedMaxHeap()
+    costs = problem.crossbars_per_replica
+    for stage in range(n):
+        gain = _marginal_time_gain(problem, stage, 1)
+        heap_v.push(gain / costs[stage], stage)
+        heap_p.push(effective_time(stage), stage)
+
+    b_minus_1 = problem.num_microbatches - 1
+    unaffordable: set = set()
+    while budget > 0:
+        # Candidate A: best plain adjust value.
+        value_a, stage_a = heap_v.top()
+        # Candidate B: the longest stage, whose replica also cuts T_max.
+        chosen = stage_a
+        chosen_value = value_a
+        if include_max_bonus and b_minus_1 > 0:
+            _, stage_p = heap_p.top()
+            gain_p = _marginal_time_gain(problem, stage_p, int(replicas[stage_p]))
+            if gain_p > 0 and stage_p not in unaffordable:
+                old_max = effective_time(stage_p)
+                new_time = (
+                    problem.times_ns[stage_p] / (replicas[stage_p] + 1)
+                    + floors[stage_p]
+                )
+                second = _second_max_time(heap_p, stage_p)
+                delta_max = max(0.0, old_max - max(new_time, second))
+                value_p = (gain_p + b_minus_1 * delta_max) / costs[stage_p]
+                if value_p > chosen_value:
+                    chosen = stage_p
+                    chosen_value = value_p
+
+        if chosen_value <= 0.0:
+            break  # nobody can improve (caps reached)
+        if costs[chosen] > budget:
+            # Cannot afford the best stage any more; permanently disable it
+            # and retry with the rest.
+            unaffordable.add(chosen)
+            heap_v.update(chosen, 0.0)
+            if _all_disabled(heap_v):
+                break
+            continue
+
+        replicas[chosen] += 1
+        budget -= int(costs[chosen])
+        new_gain = _marginal_time_gain(problem, chosen, int(replicas[chosen]))
+        affordable = costs[chosen] <= budget
+        heap_v.update(
+            chosen, new_gain / costs[chosen] if affordable else 0.0,
+        )
+        heap_p.update(chosen, effective_time(chosen))
+        if _all_disabled(heap_v):
+            break
+
+    return AllocationResult(problem=problem, replicas=replicas, strategy="gopim-greedy")
+
+
+def _second_max_time(heap_p: IndexedMaxHeap, exclude_stage: int) -> float:
+    """Largest H_p key excluding one stage (0 when it is the only one)."""
+    best = 0.0
+    for key, item in heap_p.items():
+        if item != exclude_stage and key > best:
+            best = key
+    return best
+
+
+def _all_disabled(heap_v: IndexedMaxHeap) -> bool:
+    """True when every adjust value is zero (no further improvement)."""
+    key, _ = heap_v.top()
+    return key <= 0.0

@@ -1,0 +1,154 @@
+"""The crossbar-allocation problem shared by all allocator strategies.
+
+An :class:`AllocationProblem` packages what Algorithm 1's pseudocode calls
+``P`` (per-stage no-replica times), ``X`` (crossbars per replica), and
+``C_PIM`` (the free-crossbar budget), plus the replica caps the timing
+model imposes and the micro-batch count ``B`` that weights the pipeline's
+``(B-1) * T_max`` term.
+
+The shared objective evaluated by every allocator is Eq. (6)'s makespan:
+
+    ``T_A(R) = sum_i P_i / R_i  +  (B - 1) * max_i P_i / R_i``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AllocationError
+
+
+@dataclass(frozen=True)
+class AllocationProblem:
+    """Inputs to a crossbar allocator.
+
+    Attributes
+    ----------
+    stage_names:
+        Stage labels in chain order (``CO1``, ``AG1``, ...).
+    times_ns:
+        No-replica per-micro-batch stage times ``P``.
+    crossbars_per_replica:
+        ``X`` — crossbars one additional replica of each stage costs.
+    budget:
+        ``C_PIM`` — free crossbars available for replicas, *beyond* the one
+        mandatory copy each stage already holds.
+    replica_caps:
+        Per-stage maximum useful replica count.
+    num_microbatches:
+        ``B`` in Eq. (6).
+    fixed_floors_ns:
+        Optional per-stage latency floor replicas cannot reduce (update
+        writes); included in the objective.
+    """
+
+    stage_names: List[str]
+    times_ns: np.ndarray
+    crossbars_per_replica: np.ndarray
+    budget: int
+    replica_caps: np.ndarray
+    num_microbatches: int
+    fixed_floors_ns: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times_ns, dtype=np.float64)
+        costs = np.asarray(self.crossbars_per_replica, dtype=np.int64)
+        caps = np.asarray(self.replica_caps, dtype=np.int64)
+        n = len(self.stage_names)
+        if times.shape != (n,) or costs.shape != (n,) or caps.shape != (n,):
+            raise AllocationError(
+                "times, crossbar costs and caps must all have one entry "
+                "per stage"
+            )
+        if n == 0:
+            raise AllocationError("need at least one stage")
+        if np.any(times < 0):
+            raise AllocationError("stage times must be non-negative")
+        if np.any(costs < 1):
+            raise AllocationError("crossbars per replica must be >= 1")
+        if np.any(caps < 1):
+            raise AllocationError("replica caps must be >= 1")
+        if self.budget < 0:
+            raise AllocationError("budget must be >= 0")
+        if self.num_microbatches < 1:
+            raise AllocationError("num_microbatches must be >= 1")
+        object.__setattr__(self, "times_ns", times)
+        object.__setattr__(self, "crossbars_per_replica", costs)
+        object.__setattr__(self, "replica_caps", caps)
+        if self.fixed_floors_ns is not None:
+            floors = np.asarray(self.fixed_floors_ns, dtype=np.float64)
+            if floors.shape != (n,):
+                raise AllocationError("fixed floors must have one entry per stage")
+            if np.any(floors < 0):
+                raise AllocationError("fixed floors must be non-negative")
+            object.__setattr__(self, "fixed_floors_ns", floors)
+
+    @property
+    def num_stages(self) -> int:
+        """Number of stages."""
+        return len(self.stage_names)
+
+    def effective_times(self, replicas: np.ndarray) -> np.ndarray:
+        """Per-stage times under a replica assignment (floors included)."""
+        replicas = np.asarray(replicas, dtype=np.int64)
+        if replicas.shape != (self.num_stages,):
+            raise AllocationError("replicas must have one entry per stage")
+        if np.any(replicas < 1):
+            raise AllocationError("every stage needs at least one replica")
+        effective = np.minimum(replicas, self.replica_caps)
+        times = self.times_ns / effective
+        if self.fixed_floors_ns is not None:
+            times = times + self.fixed_floors_ns
+        return times
+
+    def makespan_ns(self, replicas: np.ndarray) -> float:
+        """Eq. (6) objective for a replica assignment."""
+        times = self.effective_times(replicas)
+        return float(
+            times.sum() + (self.num_microbatches - 1) * times.max()
+        )
+
+    def crossbar_cost(self, replicas: np.ndarray) -> int:
+        """Extra crossbars consumed beyond the mandatory single copies."""
+        replicas = np.asarray(replicas, dtype=np.int64)
+        return int(((replicas - 1) * self.crossbars_per_replica).sum())
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """One allocator's answer."""
+
+    problem: AllocationProblem
+    replicas: np.ndarray
+    strategy: str
+
+    def __post_init__(self) -> None:
+        replicas = np.asarray(self.replicas, dtype=np.int64)
+        object.__setattr__(self, "replicas", replicas)
+        if self.problem.crossbar_cost(replicas) > self.problem.budget:
+            raise AllocationError(
+                f"{self.strategy} allocation exceeds the crossbar budget"
+            )
+
+    @property
+    def makespan_ns(self) -> float:
+        """Eq. (6) makespan of this assignment."""
+        return self.problem.makespan_ns(self.replicas)
+
+    @property
+    def crossbars_used(self) -> np.ndarray:
+        """Total crossbars per stage (replicas x crossbars-per-replica)."""
+        return self.replicas * self.problem.crossbars_per_replica
+
+    def summary(self) -> str:
+        """Human-readable one-liner per stage (Table VI's format)."""
+        parts = [
+            f"{name}: R={int(r)} ({int(c)} xbars)"
+            for name, r, c in zip(
+                self.problem.stage_names, self.replicas, self.crossbars_used,
+            )
+        ]
+        return "; ".join(parts)

@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``datasets``
+    List the synthetic paper datasets and their statistics.
+``simulate DATASET``
+    Run GoPIM (and optionally every baseline) on one dataset and print
+    time/energy/speedups.
+``gantt DATASET``
+    Render a text Gantt chart of the GoPIM pipeline schedule.
+``experiments [IDS...]``
+    Run registered experiments and print their markdown tables.
+``stats DATASET``
+    Print a dataset's graph statistics (degree tail, homophily, Gini).
+``lifetime DATASET``
+    Print the ReRAM array-lifetime comparison across update schemes.
+``area``
+    Print the Table II-derived area report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.units import format_energy, format_time
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    from repro.graphs.datasets import DATASET_SPECS
+
+    header = (
+        f"{'name':<9} {'task':<5} {'paper N':>9} {'sim N':>6} "
+        f"{'paper deg':>9} {'sim deg':>8} {'dim':>5} {'layers':>6} {'theta':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for spec in DATASET_SPECS.values():
+        print(
+            f"{spec.name:<9} {spec.task:<5} {spec.paper_vertices:>9} "
+            f"{spec.sim_vertices:>6} {spec.paper_avg_degree:>9.1f} "
+            f"{spec.sim_avg_degree:>8.1f} {spec.feature_dim:>5} "
+            f"{spec.num_layers:>6} {spec.selective_threshold:>6.0%}"
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.accelerators import (
+        gopim, gopim_vanilla, reflip, regraphx, serial, slimgnn_like,
+    )
+    from repro.experiments.context import (
+        experiment_config, get_predictor, get_workload,
+    )
+
+    config = experiment_config()
+    workload = get_workload(args.dataset, seed=args.seed,
+                            micro_batch=args.micro_batch)
+    predictor = get_predictor(seed=args.seed)
+    print(f"{args.dataset}: {workload.graph}")
+    if args.all:
+        systems = [serial(), slimgnn_like(), regraphx(), reflip(),
+                   gopim_vanilla(time_predictor=predictor),
+                   gopim(time_predictor=predictor)]
+    else:
+        systems = [serial(), gopim(time_predictor=predictor)]
+    base = None
+    for acc in systems:
+        report = acc.run(workload, config)
+        if base is None:
+            base = report
+        speedup = base.total_time_ns / report.total_time_ns
+        saving = base.energy_pj / report.energy_pj
+        print(
+            f"  {report.accelerator:<14} {format_time(report.total_time_ns):>12} "
+            f"{format_energy(report.energy_pj):>12} "
+            f"speedup {speedup:>8.1f}x  energy {saving:>5.2f}x"
+        )
+        if args.detail:
+            from repro.accelerators.report import render_report
+
+            print()
+            print(render_report(report))
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    from repro.accelerators import gopim, serial
+    from repro.experiments.context import (
+        experiment_config, get_predictor, get_workload,
+    )
+    from repro.pipeline.trace import bottleneck_stage, render_gantt
+
+    config = experiment_config()
+    workload = get_workload(args.dataset, seed=args.seed)
+    acc = (
+        serial() if args.serial
+        else gopim(time_predictor=get_predictor(seed=args.seed))
+    )
+    report = acc.run(workload, config)
+    print(f"{acc.name} on {args.dataset} "
+          f"(makespan {format_time(report.total_time_ns)}):")
+    print(render_gantt(report.pipeline, report.stage_names,
+                       width=args.width))
+    print(f"bottleneck: "
+          f"{bottleneck_stage(report.pipeline, report.stage_names)}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import combine_markdown
+    from repro.experiments.registry import run_all
+
+    results = run_all(quick=args.quick, only=args.ids or None)
+    print(combine_markdown(results))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.experiments.context import get_workload
+    from repro.graphs.stats import compute_stats
+
+    graph = get_workload(args.dataset, seed=args.seed).graph
+    stats = compute_stats(graph)
+    for key, value in stats.as_dict().items():
+        if isinstance(value, float):
+            print(f"{key:<18} {value:12.4g}")
+        else:
+            print(f"{key:<18} {value!s:>12}")
+    return 0
+
+
+def _cmd_lifetime(args: argparse.Namespace) -> int:
+    from repro.experiments.context import get_workload
+    from repro.hardware.endurance import (
+        compare_schemes,
+        estimate_lifetime_with_leveling,
+    )
+    from repro.mapping.selective import build_update_plan
+
+    graph = get_workload(args.dataset, seed=args.seed).graph
+    plans = {
+        "full": build_update_plan(graph, "full"),
+        "OSU": build_update_plan(graph, "osu"),
+        "ISU": build_update_plan(graph, "isu"),
+    }
+    reports = list(compare_schemes(plans).values())
+    reports.append(estimate_lifetime_with_leveling(plans["ISU"], "ISU"))
+    header = (
+        f"{'scheme':<14} {'worst-row epochs':>17} "
+        f"{'median-row epochs':>18} {'mean writes/epoch':>18}"
+    )
+    print(header)
+    print("-" * len(header))
+    for report in reports:
+        print(
+            f"{report.scheme:<14} {report.epochs_to_wearout_worst:>17.3g} "
+            f"{report.epochs_to_wearout_median:>18.3g} "
+            f"{report.writes_per_epoch_mean:>18.3g}"
+        )
+    return 0
+
+
+def _cmd_area(_: argparse.Namespace) -> int:
+    from repro.hardware.energy import area_report
+
+    for key, value in area_report().items():
+        print(f"{key:<20} {value:10.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GoPIM (HPCA 2025) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list dataset stand-ins")
+
+    simulate = sub.add_parser("simulate", help="simulate one dataset")
+    simulate.add_argument("dataset")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--micro-batch", type=int, default=64)
+    simulate.add_argument("--all", action="store_true",
+                          help="include every baseline")
+    simulate.add_argument("--detail", action="store_true",
+                          help="print the full per-stage/energy report")
+
+    gantt = sub.add_parser("gantt", help="render a pipeline Gantt chart")
+    gantt.add_argument("dataset")
+    gantt.add_argument("--seed", type=int, default=0)
+    gantt.add_argument("--width", type=int, default=72)
+    gantt.add_argument("--serial", action="store_true",
+                       help="show the Serial schedule instead of GoPIM")
+
+    experiments = sub.add_parser("experiments", help="run experiments")
+    experiments.add_argument("ids", nargs="*",
+                             help="experiment ids (default: all)")
+    experiments.add_argument("--quick", action="store_true")
+
+    stats = sub.add_parser("stats", help="graph statistics for a dataset")
+    stats.add_argument("dataset")
+    stats.add_argument("--seed", type=int, default=0)
+
+    lifetime = sub.add_parser(
+        "lifetime", help="array lifetime per update scheme",
+    )
+    lifetime.add_argument("dataset")
+    lifetime.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("area", help="print the area report")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "simulate": _cmd_simulate,
+        "gantt": _cmd_gantt,
+        "experiments": _cmd_experiments,
+        "stats": _cmd_stats,
+        "lifetime": _cmd_lifetime,
+        "area": _cmd_area,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

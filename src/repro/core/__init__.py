@@ -1,0 +1,6 @@
+"""GoPIM's top-level orchestration facade and co-simulation."""
+
+from repro.core.cosim import CoSimResult, CoSimulation
+from repro.core.gopim import GoPIMPlan, GoPIMSystem
+
+__all__ = ["CoSimResult", "CoSimulation", "GoPIMPlan", "GoPIMSystem"]

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the GoPIM reproduction.
+
+All library errors derive from :class:`GoPIMError` so callers can catch a
+single base class.  Each subsystem raises the most specific subclass that
+applies; constructors accept a plain message to keep call sites readable.
+"""
+
+from __future__ import annotations
+
+
+class GoPIMError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(GoPIMError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class GraphError(GoPIMError):
+    """A graph is malformed or an operation received an incompatible graph."""
+
+
+class MappingError(GoPIMError):
+    """A data-mapping request cannot be satisfied (e.g. matrix too large)."""
+
+
+class AllocationError(GoPIMError):
+    """Crossbar resource allocation failed or was given invalid inputs."""
+
+
+class PipelineError(GoPIMError):
+    """The pipeline simulator was driven with inconsistent stage data."""
+
+
+class PredictorError(GoPIMError):
+    """The execution-time predictor was misused (e.g. predict before fit)."""
+
+
+class TrainingError(GoPIMError):
+    """GCN training failed (e.g. divergence, shape mismatch)."""
+
+
+class ExperimentError(GoPIMError):
+    """An experiment harness was invoked with an unknown id or bad params."""

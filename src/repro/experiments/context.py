@@ -1,0 +1,66 @@
+"""Shared experiment context: hardware config, caches, predictor singleton.
+
+All table/figure reproductions run against one scaled hardware budget so
+results are comparable.  The paper evaluates under a 16 GB crossbar array;
+our datasets are scaled down ~64-600x (DESIGN.md section 1), so the
+default experiment budget is scaled to 256 MB — enough that the allocation
+policy is the binding constraint, as at paper scale.
+
+Workloads and the fitted time predictor are cached per seed: dataset
+generation and predictor training are deterministic, so reuse across
+experiments changes nothing but the runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
+from repro.predictor.dataset import generate_dataset
+from repro.predictor.predictor import TimePredictor
+from repro.stages.workload import Workload, workload_from_dataset
+
+EXPERIMENT_ARRAY_BYTES = 256 * 1024 ** 2
+
+_workload_cache: Dict[Tuple[str, int, int, float], Workload] = {}
+_predictor_cache: Dict[Tuple[int, int], TimePredictor] = {}
+
+
+def experiment_config(
+    array_bytes: int = EXPERIMENT_ARRAY_BYTES,
+) -> HardwareConfig:
+    """The scaled hardware configuration experiments run under."""
+    return DEFAULT_CONFIG.scaled(array_capacity_bytes=array_bytes)
+
+
+def get_workload(
+    dataset: str,
+    seed: int = 0,
+    micro_batch: int = 64,
+    scale: float = 1.0,
+) -> Workload:
+    """Cached Table IV workload for a dataset."""
+    key = (dataset, seed, micro_batch, scale)
+    if key not in _workload_cache:
+        _workload_cache[key] = workload_from_dataset(
+            dataset, random_state=seed, micro_batch=micro_batch, scale=scale,
+        )
+    return _workload_cache[key]
+
+
+def get_predictor(
+    num_samples: int = 800,
+    seed: int = 0,
+) -> TimePredictor:
+    """Cached fitted TimePredictor (deterministic per (samples, seed))."""
+    key = (num_samples, seed)
+    if key not in _predictor_cache:
+        dataset = generate_dataset(num_samples=num_samples, random_state=seed)
+        _predictor_cache[key] = TimePredictor().fit(dataset)
+    return _predictor_cache[key]
+
+
+def clear_caches() -> None:
+    """Drop cached workloads and predictors (used by tests)."""
+    _workload_cache.clear()
+    _predictor_cache.clear()

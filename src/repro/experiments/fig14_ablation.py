@@ -1,0 +1,58 @@
+"""Fig. 14: impact of individual techniques (Serial -> +PP -> +ISU -> GoPIM).
+
+* ``Serial`` — layer-wise sequential baseline;
+* ``+PP`` — adds intra+inter-batch pipelining (no replicas, no ISU);
+* ``+ISU`` — adds interleaved selective updating on top of +PP;
+* ``GoPIM`` — adds the ML-based replica allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.accelerators.catalog import gopim, plus_isu, plus_pp, serial
+from repro.experiments.context import (
+    experiment_config,
+    get_predictor,
+    get_workload,
+)
+from repro.experiments.harness import ExperimentResult
+
+FIG14_DATASETS = ("ddi", "collab", "ppa", "proteins", "arxiv")
+
+
+def run(
+    datasets: Sequence[str] = FIG14_DATASETS,
+    seed: int = 0,
+    scale: float = 1.0,
+    use_predictor: bool = True,
+) -> ExperimentResult:
+    """Reproduce Fig. 14's ablation of GoPIM's techniques."""
+    config = experiment_config()
+    predictor = get_predictor(seed=seed) if use_predictor else None
+    result = ExperimentResult(
+        experiment_id="fig14",
+        title="Ablation: +PP, +ISU, and ML-based allocation",
+        notes=(
+            "Paper: +PP 2.6x on ddi; full GoPIM 3472x on ddi; energy "
+            "reductions up to 62% (+PP), 75% (+ISU), 79% (GoPIM)."
+        ),
+    )
+    for dataset in datasets:
+        workload = get_workload(dataset, seed=seed, scale=scale)
+        systems = (
+            serial(), plus_pp(), plus_isu(),
+            gopim(time_predictor=predictor),
+        )
+        reports = {acc.name: acc.run(workload, config) for acc in systems}
+        base = reports["Serial"]
+        for name, report in reports.items():
+            result.rows.append({
+                "dataset": dataset,
+                "variant": name,
+                "speedup": base.total_time_ns / report.total_time_ns,
+                "energy reduction %": round(
+                    100.0 * (1.0 - report.energy_pj / base.energy_pj), 1,
+                ),
+            })
+    return result

@@ -1,0 +1,71 @@
+"""Experiment result container and markdown rendering.
+
+Every experiment module exposes ``run(...) -> ExperimentResult``; the
+result is a titled list of uniform row dicts that renders as the table or
+series the paper's figure plots.  ``repro.experiments.registry`` maps
+experiment ids (``"fig13"``, ``"tab05"``, ...) to their run functions so
+the benchmark harness and the ``run_all`` driver can enumerate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.experiment_id:
+            raise ExperimentError("experiment_id must be non-empty")
+
+    @property
+    def columns(self) -> List[str]:
+        """Union of row keys, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                seen.setdefault(key)
+        return list(seen)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column (missing cells become None)."""
+        if name not in self.columns:
+            raise ExperimentError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def to_markdown(self, float_format: str = "{:.3g}") -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        cols = self.columns
+        if not cols:
+            return f"## {self.title}\n\n(no rows)\n"
+
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return float_format.format(value)
+            return "" if value is None else str(value)
+
+        lines = [f"## {self.title} ({self.experiment_id})", ""]
+        lines.append("| " + " | ".join(cols) + " |")
+        lines.append("|" + "|".join("---" for _ in cols) + "|")
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(fmt(row.get(c)) for c in cols) + " |"
+            )
+        if self.notes:
+            lines.extend(["", self.notes])
+        return "\n".join(lines) + "\n"
+
+
+def combine_markdown(results: Sequence[ExperimentResult]) -> str:
+    """Concatenate rendered results (the EXPERIMENTS.md generator)."""
+    return "\n".join(result.to_markdown() for result in results)

@@ -1,0 +1,110 @@
+"""Experiment registry and the run-everything driver.
+
+``REGISTRY`` maps experiment ids to their run functions; ``run_all``
+executes every experiment (optionally with quick settings) and returns the
+results in registry order — this is what regenerates EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    abl_allocator,
+    abl_crossbar_size,
+    abl_device_variation,
+    abl_endurance,
+    abl_features,
+    abl_isu_design,
+    abl_model_family,
+    abl_motivation,
+    abl_quantization,
+    abl_samples,
+    abl_scheduler,
+    abl_weight_staleness,
+    abl_time_to_accuracy,
+    fig04_idle,
+    fig05_example,
+    fig06_degree,
+    fig07_osu,
+    fig09_predictor,
+    fig13_overall,
+    fig14_ablation,
+    fig15_idle_batch,
+    fig16_sensitivity,
+    fig17_scalability,
+    tab05_accuracy,
+    tab06_replicas,
+    tab07_ml_vs_profiling,
+)
+from repro.experiments.harness import ExperimentResult
+
+REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig04": fig04_idle.run,
+    "fig05": fig05_example.run,
+    "fig06": fig06_degree.run,
+    "fig07": fig07_osu.run,
+    "fig09": fig09_predictor.run,
+    "fig13": fig13_overall.run,
+    "fig14": fig14_ablation.run,
+    "fig15": fig15_idle_batch.run,
+    "fig16": fig16_sensitivity.run,
+    "fig17": fig17_scalability.run,
+    "tab05": tab05_accuracy.run,
+    "tab06": tab06_replicas.run,
+    "tab07": tab07_ml_vs_profiling.run,
+    # Ablations beyond the paper's figures (DESIGN.md section 3 footnote).
+    "abl-allocator": abl_allocator.run,
+    "abl-isu": abl_isu_design.run,
+    "abl-tta": abl_time_to_accuracy.run,
+    "abl-variation": abl_device_variation.run,
+    "abl-crossbar-size": abl_crossbar_size.run,
+    "abl-features": abl_features.run,
+    "abl-motivation": abl_motivation.run,
+    "abl-endurance": abl_endurance.run,
+    "abl-samples": abl_samples.run,
+    "abl-quantization": abl_quantization.run,
+    "abl-scheduler": abl_scheduler.run,
+    "abl-weight-staleness": abl_weight_staleness.run,
+    "abl-model-family": abl_model_family.run,
+}
+
+# Parameter overrides that make a full sweep finish quickly (used by CI
+# smoke runs); the defaults reproduce the paper-fidelity versions.
+QUICK_OVERRIDES: Dict[str, dict] = {
+    "fig09": {"num_samples": 400},
+    "fig16": {"epochs": 12, "thetas": (0.4, 0.6, 0.8)},
+    "tab05": {"epochs": 12},
+    "abl-tta": {"epochs": 8},
+    "abl-variation": {"epochs": 8, "sigmas": (0.0, 0.05)},
+    "abl-features": {"num_samples": 400},
+    "abl-samples": {"sample_counts": (100, 400)},
+    "abl-quantization": {"weight_bits": (2, 4), "epochs": 10},
+    "abl-weight-staleness": {"delays": (0, 4), "epochs": 10},
+    "abl-model-family": {"epochs": 10},
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id."""
+    runner = REGISTRY.get(experiment_id)
+    if runner is None:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(REGISTRY)}"
+        )
+    return runner(**kwargs)
+
+
+def run_all(
+    quick: bool = False,
+    only: Optional[Sequence[str]] = None,
+) -> List[ExperimentResult]:
+    """Run every registered experiment (registry order)."""
+    ids = list(REGISTRY) if only is None else list(only)
+    results: List[ExperimentResult] = []
+    for experiment_id in ids:
+        overrides = QUICK_OVERRIDES.get(experiment_id, {}) if quick else {}
+        results.append(run_experiment(experiment_id, **overrides))
+    return results

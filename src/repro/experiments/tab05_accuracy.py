@@ -1,0 +1,55 @@
+"""Table V: model-accuracy impact of ISU across five datasets.
+
+GoPIM-Vanilla trains with full vertex updating; GoPIM with the adaptive
+ISU schedule (theta from Section VI-C, minor refresh every 20 epochs).
+The paper finds ISU sometimes *improves* accuracy (it de-emphasises noisy
+low-degree vertices) and never loses more than ~0.65%.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.context import get_workload
+from repro.experiments.harness import ExperimentResult
+from repro.gcn.trainer import make_trainer
+from repro.graphs.datasets import get_spec
+from repro.mapping.selective import build_update_plan
+
+TAB05_DATASETS = ("ddi", "collab", "ppa", "proteins", "arxiv")
+
+
+def run(
+    datasets: Sequence[str] = TAB05_DATASETS,
+    epochs: int = 40,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> ExperimentResult:
+    """Reproduce Table V's accuracy comparison."""
+    result = ExperimentResult(
+        experiment_id="tab05",
+        title="Accuracy impact of ISU (GoPIM-Vanilla vs GoPIM)",
+        notes=(
+            "Paper deltas: +4.01 (ddi), -0.65 (collab), +1.07 (ppa), "
+            "+1.62 (proteins), -0.2 (arxiv) percentage points."
+        ),
+    )
+    for dataset in datasets:
+        spec = get_spec(dataset)
+        graph = get_workload(dataset, seed=seed, scale=scale).graph
+        vanilla = make_trainer(graph, spec.task, random_state=seed)
+        vanilla_acc = vanilla.train(epochs=epochs).best_test_metric
+        plan = build_update_plan(graph, "isu")
+        isu_trainer = make_trainer(graph, spec.task, random_state=seed)
+        isu_acc = isu_trainer.train(
+            epochs=epochs, update_plan=plan,
+        ).best_test_metric
+        result.rows.append({
+            "dataset": dataset,
+            "task": spec.task,
+            "theta": plan.theta,
+            "GoPIM-Vanilla acc %": round(100 * vanilla_acc, 2),
+            "GoPIM acc %": round(100 * isu_acc, 2),
+            "impact (points)": round(100 * (isu_acc - vanilla_acc), 2),
+        })
+    return result

@@ -1,0 +1,47 @@
+"""Numpy GCN training substrate with crossbar-staleness semantics."""
+
+from repro.gcn.losses import (
+    accuracy,
+    cross_entropy_loss,
+    link_accuracy,
+    link_bce_loss,
+    link_logits,
+    sigmoid,
+    softmax,
+)
+from repro.gcn.checkpoint import (
+    load_checkpoint,
+    restore_model,
+    save_checkpoint,
+)
+from repro.gcn.model import GCN, StaleFeatureStore
+from repro.gcn.sage import GraphSAGE
+from repro.gcn.optim import Adam, SGD
+from repro.gcn.trainer import (
+    LinkPredictionTrainer,
+    NodeClassificationTrainer,
+    TrainingResult,
+    make_trainer,
+)
+
+__all__ = [
+    "accuracy",
+    "cross_entropy_loss",
+    "link_accuracy",
+    "link_bce_loss",
+    "link_logits",
+    "sigmoid",
+    "softmax",
+    "GCN",
+    "StaleFeatureStore",
+    "GraphSAGE",
+    "load_checkpoint",
+    "restore_model",
+    "save_checkpoint",
+    "Adam",
+    "SGD",
+    "LinkPredictionTrainer",
+    "NodeClassificationTrainer",
+    "TrainingResult",
+    "make_trainer",
+]

@@ -1,0 +1,76 @@
+"""Model checkpointing: save/load parameter dicts to npz.
+
+Works for any of the numpy models (GCN, GraphSAGE) — a checkpoint is the
+flat parameter dict plus a header recording the layer dimensions so loads
+can be validated against the receiving model.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+FORMAT_VERSION = 1
+_RESERVED = ("format_version", "layer_dims")
+
+
+def save_checkpoint(
+    params: Dict[str, np.ndarray],
+    layer_dims,
+    path: Union[str, Path],
+) -> None:
+    """Write parameters and their layer dimensions to ``path`` (npz)."""
+    for key in _RESERVED:
+        if key in params:
+            raise TrainingError(f"parameter name {key!r} is reserved")
+    np.savez_compressed(
+        path,
+        format_version=np.array([FORMAT_VERSION]),
+        layer_dims=np.asarray(layer_dims, dtype=np.int64),
+        **params,
+    )
+
+
+def load_checkpoint(path: Union[str, Path]) -> Dict[str, np.ndarray]:
+    """Read a checkpoint; returns ``{"layer_dims": ..., "params": {...}}``."""
+    try:
+        data = np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise TrainingError(f"cannot load checkpoint {path}: {exc}") from exc
+    if "format_version" not in data or "layer_dims" not in data:
+        raise TrainingError(f"malformed checkpoint {path}")
+    version = int(data["format_version"][0])
+    if version != FORMAT_VERSION:
+        raise TrainingError(f"unsupported checkpoint version {version}")
+    params = {
+        key: data[key] for key in data.files if key not in _RESERVED
+    }
+    return {
+        "layer_dims": [tuple(row) for row in data["layer_dims"]],
+        "params": params,
+    }
+
+
+def restore_model(model, path: Union[str, Path]) -> None:
+    """Load a checkpoint into a GCN/GraphSAGE instance, in place."""
+    payload = load_checkpoint(path)
+    if payload["layer_dims"] != model.layer_dims:
+        raise TrainingError(
+            f"checkpoint layer dims {payload['layer_dims']} do not match "
+            f"the model's {model.layer_dims}"
+        )
+    missing = set(model.params) - set(payload["params"])
+    if missing:
+        raise TrainingError(f"checkpoint lacks parameters: {sorted(missing)}")
+    for key in model.params:
+        loaded = payload["params"][key]
+        if loaded.shape != model.params[key].shape:
+            raise TrainingError(
+                f"parameter {key!r} shape mismatch: "
+                f"{loaded.shape} vs {model.params[key].shape}"
+            )
+        model.params[key] = loaded.astype(np.float32)

@@ -1,0 +1,114 @@
+"""Losses and metrics for node classification and link prediction."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-shift stabilisation."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def cross_entropy_loss(
+    logits: np.ndarray,
+    labels: np.ndarray,
+) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy and its gradient w.r.t. the logits."""
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2 or labels.shape != (logits.shape[0],):
+        raise TrainingError("logits must be (n, classes); labels (n,)")
+    if logits.shape[0] == 0:
+        raise TrainingError("empty batch")
+    if labels.min() < 0 or labels.max() >= logits.shape[1]:
+        raise TrainingError("labels out of range of logit columns")
+    probs = softmax(logits)
+    n = logits.shape[0]
+    loss = float(-np.log(probs[np.arange(n), labels] + 1e-12).mean())
+    grad = probs
+    grad[np.arange(n), labels] -= 1.0
+    return loss, (grad / n).astype(np.float32)
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    if logits.shape[0] == 0:
+        raise TrainingError("empty batch")
+    return float((logits.argmax(axis=1) == labels).mean())
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    exp_x = np.exp(x[~pos])
+    out[~pos] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def link_logits(
+    embeddings: np.ndarray,
+    edges: np.ndarray,
+) -> np.ndarray:
+    """Dot-product decoder scores for an ``(m, 2)`` edge array."""
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise TrainingError("edges must be (m, 2)")
+    return np.einsum(
+        "ij,ij->i", embeddings[edges[:, 0]], embeddings[edges[:, 1]],
+    )
+
+
+def link_bce_loss(
+    embeddings: np.ndarray,
+    pos_edges: np.ndarray,
+    neg_edges: np.ndarray,
+) -> Tuple[float, np.ndarray]:
+    """Binary cross-entropy over positive/negative edges.
+
+    Returns the loss and its gradient w.r.t. the vertex embeddings.
+    """
+    pos_edges = np.asarray(pos_edges, dtype=np.int64)
+    neg_edges = np.asarray(neg_edges, dtype=np.int64)
+    if pos_edges.size == 0 and neg_edges.size == 0:
+        raise TrainingError("need at least one edge")
+    grad = np.zeros_like(embeddings, dtype=np.float64)
+    total = 0.0
+    count = 0
+    for edges, label in ((pos_edges, 1.0), (neg_edges, 0.0)):
+        if edges.size == 0:
+            continue
+        scores = link_logits(embeddings, edges)
+        probs = sigmoid(scores)
+        total += float(-(
+            label * np.log(probs + 1e-12)
+            + (1 - label) * np.log(1 - probs + 1e-12)
+        ).sum())
+        count += edges.shape[0]
+        coeff = (probs - label)[:, None]
+        np.add.at(grad, edges[:, 0], coeff * embeddings[edges[:, 1]])
+        np.add.at(grad, edges[:, 1], coeff * embeddings[edges[:, 0]])
+    return total / count, (grad / count).astype(np.float32)
+
+
+def link_accuracy(
+    embeddings: np.ndarray,
+    pos_edges: np.ndarray,
+    neg_edges: np.ndarray,
+) -> float:
+    """Balanced accuracy of the dot-product decoder at threshold 0."""
+    pos = link_logits(embeddings, pos_edges) > 0 if pos_edges.size else np.array([])
+    neg = link_logits(embeddings, neg_edges) <= 0 if neg_edges.size else np.array([])
+    correct = float(pos.sum() + neg.sum())
+    total = pos.size + neg.size
+    if total == 0:
+        raise TrainingError("need at least one evaluation edge")
+    return correct / total

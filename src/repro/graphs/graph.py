@@ -1,0 +1,338 @@
+"""Immutable CSR graph with vertex features and labels.
+
+The GCN substrate, the mapping strategies, and the latency model all consume
+graphs through this one class, so its invariants are load-bearing:
+
+* adjacency is stored in CSR form (``indptr``/``indices``), undirected
+  (every edge appears in both directions) unless constructed otherwise;
+* ``degrees`` is the out-degree per vertex (== in-degree for undirected);
+* features are a dense ``(num_vertices, feature_dim)`` float32 matrix;
+* labels, when present, are int64 class ids per vertex.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+
+
+class Graph:
+    """An undirected graph in CSR form with optional features and labels.
+
+    Parameters
+    ----------
+    indptr:
+        CSR row-pointer array of length ``num_vertices + 1``.
+    indices:
+        CSR column-index array; ``indices[indptr[v]:indptr[v+1]]`` are the
+        neighbours of vertex ``v``.
+    features:
+        Optional ``(num_vertices, feature_dim)`` float matrix.
+    labels:
+        Optional ``(num_vertices,)`` integer class-id vector.
+    name:
+        Human-readable dataset name for reports.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        features: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
+        name: str = "graph",
+    ) -> None:
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indptr.size < 1:
+            raise GraphError("indptr must be a 1-D array of length >= 1")
+        if indptr[0] != 0:
+            raise GraphError("indptr must start at 0")
+        if np.any(np.diff(indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        if indices.ndim != 1:
+            raise GraphError("indices must be a 1-D array")
+        if indptr[-1] != indices.size:
+            raise GraphError(
+                f"indptr[-1] ({indptr[-1]}) must equal len(indices) "
+                f"({indices.size})"
+            )
+        num_vertices = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= num_vertices):
+            raise GraphError("indices contain out-of-range vertex ids")
+
+        self._indptr = indptr
+        self._indices = indices
+        self._name = name
+
+        if features is not None:
+            features = np.asarray(features, dtype=np.float32)
+            if features.ndim != 2 or features.shape[0] != num_vertices:
+                raise GraphError(
+                    f"features must be (num_vertices, d); got {features.shape} "
+                    f"for {num_vertices} vertices"
+                )
+        self._features = features
+
+        if labels is not None:
+            labels = np.asarray(labels, dtype=np.int64)
+            if labels.shape != (num_vertices,):
+                raise GraphError(
+                    f"labels must be ({num_vertices},); got {labels.shape}"
+                )
+        self._labels = labels
+
+        self._degrees = np.diff(indptr).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        edges: Iterable[Tuple[int, int]],
+        features: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
+        name: str = "graph",
+        undirected: bool = True,
+        dedup: bool = True,
+    ) -> "Graph":
+        """Build a graph from an edge list.
+
+        Self-loops are dropped; with ``undirected=True`` each edge is stored
+        in both directions; with ``dedup=True`` duplicate edges collapse.
+        """
+        if num_vertices < 0:
+            raise GraphError("num_vertices must be non-negative")
+        edge_array = np.asarray(list(edges), dtype=np.int64)
+        if edge_array.size == 0:
+            edge_array = edge_array.reshape(0, 2)
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise GraphError("edges must be (u, v) pairs")
+        if edge_array.size and (
+            edge_array.min() < 0 or edge_array.max() >= num_vertices
+        ):
+            raise GraphError("edge endpoints out of range")
+
+        src = edge_array[:, 0]
+        dst = edge_array[:, 1]
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        if undirected:
+            src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+        if dedup and src.size:
+            packed = src * np.int64(num_vertices) + dst
+            packed = np.unique(packed)
+            src = packed // num_vertices
+            dst = packed % num_vertices
+
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        indptr = np.cumsum(indptr)
+        return cls(indptr, dst, features=features, labels=labels, name=name)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Dataset name used in reports."""
+        return self._name
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return self._indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of *undirected* edges (directed arc count // 2)."""
+        return int(self._indices.size) // 2
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of directed arcs stored in CSR (2x undirected edges)."""
+        return int(self._indices.size)
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row pointer (read-only view)."""
+        view = self._indptr.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column indices (read-only view)."""
+        view = self._indices.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Per-vertex degree (read-only view)."""
+        view = self._degrees.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def features(self) -> Optional[np.ndarray]:
+        """Vertex feature matrix, or ``None``."""
+        return self._features
+
+    @property
+    def labels(self) -> Optional[np.ndarray]:
+        """Vertex labels, or ``None``."""
+        return self._labels
+
+    @property
+    def feature_dim(self) -> int:
+        """Feature dimensionality (0 when no features are attached)."""
+        return 0 if self._features is None else int(self._features.shape[1])
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct labels (0 when no labels are attached)."""
+        if self._labels is None or self._labels.size == 0:
+            return 0
+        return int(self._labels.max()) + 1
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Neighbour ids of ``vertex`` (read-only view)."""
+        if not 0 <= vertex < self.num_vertices:
+            raise GraphError(f"vertex {vertex} out of range")
+        view = self._indices[self._indptr[vertex]:self._indptr[vertex + 1]]
+        view = view.view()
+        view.flags.writeable = False
+        return view
+
+    # ------------------------------------------------------------------
+    # Statistics consumed by GoPIM's mechanisms
+    # ------------------------------------------------------------------
+    @property
+    def average_degree(self) -> float:
+        """Mean vertex degree (0.0 for an empty graph)."""
+        if self.num_vertices == 0:
+            return 0.0
+        return float(self._degrees.mean())
+
+    @property
+    def density(self) -> float:
+        """Edges / max possible edges, per the paper's definition."""
+        n = self.num_vertices
+        if n < 2:
+            return 0.0
+        return self.num_edges / (n * (n - 1) / 2)
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of zero entries of the dense adjacency matrix."""
+        n = self.num_vertices
+        if n == 0:
+            return 1.0
+        return 1.0 - self.num_arcs / (n * n)
+
+    def is_dense(self, threshold: float = 8.0) -> bool:
+        """Paper's dense/sparse split: dense iff average degree > threshold."""
+        return self.average_degree > threshold
+
+    # ------------------------------------------------------------------
+    # Linear algebra used by the GCN substrate
+    # ------------------------------------------------------------------
+    def adjacency_matmul(self, matrix: np.ndarray) -> np.ndarray:
+        """Compute ``A @ matrix`` with the (unnormalised) adjacency.
+
+        Implemented as a CSR scatter-add; never densifies A.
+        """
+        matrix = np.asarray(matrix)
+        if matrix.shape[0] != self.num_vertices:
+            raise GraphError(
+                f"matrix has {matrix.shape[0]} rows, graph has "
+                f"{self.num_vertices} vertices"
+            )
+        out = np.zeros_like(matrix, dtype=np.result_type(matrix, np.float32))
+        src = np.repeat(np.arange(self.num_vertices), self._degrees)
+        np.add.at(out, src, matrix[self._indices])
+        return out
+
+    def mean_adjacency_matmul(self, matrix: np.ndarray) -> np.ndarray:
+        """Compute ``D^-1 A @ matrix`` (mean aggregation, GraphSAGE-style).
+
+        Isolated vertices (degree 0) aggregate to zero rows.
+        """
+        sums = self.adjacency_matmul(matrix)
+        scale = np.where(self._degrees > 0, 1.0 / np.maximum(self._degrees, 1), 0.0)
+        return (sums * scale[:, None]).astype(np.float32)
+
+    def normalized_adjacency_matmul(self, matrix: np.ndarray) -> np.ndarray:
+        """Compute ``D^-1/2 (A + I) D^-1/2 @ matrix`` (GCN propagation)."""
+        matrix = np.asarray(matrix, dtype=np.float32)
+        if matrix.shape[0] != self.num_vertices:
+            raise GraphError(
+                f"matrix has {matrix.shape[0]} rows, graph has "
+                f"{self.num_vertices} vertices"
+            )
+        inv_sqrt = 1.0 / np.sqrt(self._degrees + 1.0)
+        scaled = matrix * inv_sqrt[:, None]
+        propagated = self.adjacency_matmul(scaled) + scaled
+        return (propagated * inv_sqrt[:, None]).astype(np.float32)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def with_features(self, features: np.ndarray) -> "Graph":
+        """Return a copy of this graph with ``features`` attached."""
+        return Graph(
+            self._indptr, self._indices, features=features,
+            labels=self._labels, name=self._name,
+        )
+
+    def with_labels(self, labels: np.ndarray) -> "Graph":
+        """Return a copy of this graph with ``labels`` attached."""
+        return Graph(
+            self._indptr, self._indices, features=self._features,
+            labels=labels, name=self._name,
+        )
+
+    def edge_list(self) -> np.ndarray:
+        """Return the unique undirected edge list as an ``(m, 2)`` array."""
+        src = np.repeat(np.arange(self.num_vertices), self._degrees)
+        dst = self._indices
+        keep = src < dst
+        return np.stack([src[keep], dst[keep]], axis=1)
+
+    def subgraph(self, vertices: Sequence[int], name: Optional[str] = None) -> "Graph":
+        """Induced subgraph on ``vertices`` (relabelled 0..k-1, input order)."""
+        vertex_ids = np.asarray(vertices, dtype=np.int64)
+        if vertex_ids.size and (
+            vertex_ids.min() < 0 or vertex_ids.max() >= self.num_vertices
+        ):
+            raise GraphError("subgraph vertices out of range")
+        if np.unique(vertex_ids).size != vertex_ids.size:
+            raise GraphError("subgraph vertices must be unique")
+        remap = -np.ones(self.num_vertices, dtype=np.int64)
+        remap[vertex_ids] = np.arange(vertex_ids.size)
+
+        src = np.repeat(np.arange(self.num_vertices), self._degrees)
+        dst = self._indices
+        keep = (remap[src] >= 0) & (remap[dst] >= 0) & (src < dst)
+        edges = np.stack([remap[src[keep]], remap[dst[keep]]], axis=1)
+        features = None if self._features is None else self._features[vertex_ids]
+        labels = None if self._labels is None else self._labels[vertex_ids]
+        return Graph.from_edges(
+            vertex_ids.size, edges, features=features, labels=labels,
+            name=name or f"{self._name}-sub",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(name={self._name!r}, vertices={self.num_vertices}, "
+            f"edges={self.num_edges}, avg_degree={self.average_degree:.1f}, "
+            f"feature_dim={self.feature_dim})"
+        )

@@ -1,0 +1,66 @@
+"""ReRAM PIM hardware model (NeuroSim-style, Table II parameters).
+
+Layers:
+
+* :mod:`~repro.hardware.config` — all physical constants in one
+  :class:`HardwareConfig`;
+* :mod:`~repro.hardware.crossbar` — functional + cost model of a crossbar;
+* :mod:`~repro.hardware.hierarchy` — PE/tile/chip resource accounting;
+* :mod:`~repro.hardware.energy` — per-component energy attribution;
+* :mod:`~repro.hardware.memory` — global buffer and off-chip channel.
+"""
+
+from repro.hardware.config import (
+    DEFAULT_CONFIG,
+    ComponentSpec,
+    HardwareConfig,
+)
+from repro.hardware.crossbar import Crossbar, CrossbarStats, quantize_symmetric
+from repro.hardware.energy import EnergyBreakdown, EnergyModel, area_report
+from repro.hardware.hierarchy import (
+    Chip,
+    CrossbarPool,
+    ProcessingElement,
+    Tile,
+)
+from repro.hardware.endurance import (
+    RERAM_ENDURANCE_WRITES,
+    SRAM_ENDURANCE_WRITES,
+    LifetimeReport,
+    compare_schemes,
+    estimate_lifetime,
+)
+from repro.hardware.engine import MappedMatrix, aggregate, combine
+from repro.hardware.functional_gcn import FunctionalGCN
+from repro.hardware.memory import GlobalBuffer, OffChipMemory, TrafficRecord
+from repro.hardware.noc import MeshNoc, NocConfig
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "ComponentSpec",
+    "HardwareConfig",
+    "Crossbar",
+    "CrossbarStats",
+    "quantize_symmetric",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "area_report",
+    "Chip",
+    "CrossbarPool",
+    "ProcessingElement",
+    "Tile",
+    "GlobalBuffer",
+    "OffChipMemory",
+    "TrafficRecord",
+    "MappedMatrix",
+    "aggregate",
+    "combine",
+    "MeshNoc",
+    "NocConfig",
+    "RERAM_ENDURANCE_WRITES",
+    "SRAM_ENDURANCE_WRITES",
+    "LifetimeReport",
+    "compare_schemes",
+    "estimate_lifetime",
+    "FunctionalGCN",
+]

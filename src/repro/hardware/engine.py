@@ -1,0 +1,228 @@
+"""Functional crossbar-level execution of GCN stages.
+
+The analytic model in :mod:`repro.stages.latency` prices stages without
+touching data.  This module is its value-accurate counterpart: it builds
+real :class:`~repro.hardware.crossbar.Crossbar` grids, programs matrices
+onto them with the Section II-B tiling, streams inputs, and accumulates
+partial sums through a software S+A chain — so tests can check both the
+numerics (results match numpy) and the cost model (event counts match the
+analytic activity predictions).
+
+Two operations cover the GCN stage types:
+
+* :class:`MappedMatrix` — a matrix resident on a crossbar grid, supporting
+  dense MVM (Combination / Loss stages) and selective row rewrites
+  (vertex updating);
+* :func:`aggregate` — edge-serial aggregation over a mapped feature
+  matrix (Aggregation / Gradient stages): each neighbour contributes one
+  wordline activation, matching the row-major execution the latency model
+  charges per edge.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import MappingError
+from repro.graphs.graph import Graph
+from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
+from repro.hardware.crossbar import Crossbar, CrossbarStats
+from repro.mapping.tiling import TilingPlan, plan_tiling
+
+
+class MappedMatrix:
+    """A value matrix programmed across a grid of crossbars.
+
+    Parameters
+    ----------
+    matrix:
+        The ``(rows, cols)`` values to program.
+    config:
+        Hardware configuration (geometry, latencies).
+    quantize:
+        Forwarded to the crossbars (cell-resolution quantisation).
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        config: HardwareConfig = DEFAULT_CONFIG,
+        quantize: bool = False,
+        read_noise_sigma: float = 0.0,
+        random_state: int = 0,
+    ) -> None:
+        matrix = np.asarray(matrix, dtype=np.float32)
+        if matrix.ndim != 2 or matrix.size == 0:
+            raise MappingError("MappedMatrix needs a non-empty 2-D matrix")
+        self._config = config
+        self._matrix_rows, self._matrix_cols = matrix.shape
+        self._plan = plan_tiling(*matrix.shape, config)
+        self._grid: List[List[Crossbar]] = [
+            [Crossbar(config, quantize=quantize,
+                      read_noise_sigma=read_noise_sigma,
+                      random_state=random_state + 131 * r + c)
+             for c in range(self._plan.col_tiles)]
+            for r in range(self._plan.row_tiles)
+        ]
+        self.program_latency_ns = self._program(matrix)
+
+    @property
+    def plan(self) -> TilingPlan:
+        """The tiling grid."""
+        return self._plan
+
+    @property
+    def shape(self) -> tuple:
+        """Logical matrix shape."""
+        return (self._matrix_rows, self._matrix_cols)
+
+    @property
+    def num_crossbars(self) -> int:
+        """Crossbars in the grid."""
+        return self._plan.num_crossbars
+
+    def _block(self, matrix: np.ndarray, r: int, c: int) -> np.ndarray:
+        rows = self._config.crossbar_rows
+        cols = self._config.logical_cols
+        return matrix[r * rows:(r + 1) * rows, c * cols:(c + 1) * cols]
+
+    def _program(self, matrix: np.ndarray) -> float:
+        # Row tiles program in parallel (distinct crossbars); within one
+        # crossbar rows are serial, so the grid cost is the max tile cost.
+        worst = 0.0
+        for r in range(self._plan.row_tiles):
+            for c in range(self._plan.col_tiles):
+                latency = self._grid[r][c].program(self._block(matrix, r, c))
+                worst = max(worst, latency)
+        return worst
+
+    # ------------------------------------------------------------------
+    def mvm(self, vector: np.ndarray) -> np.ndarray:
+        """Dense MVM: ``vector @ matrix`` streamed through the grid.
+
+        Column tiles run in parallel; row tiles serialise through the S+A
+        chain (their partial sums are accumulated here).
+        """
+        vector = np.asarray(vector, dtype=np.float32).ravel()
+        if vector.size != self._matrix_rows:
+            raise MappingError(
+                f"input length {vector.size} != matrix rows "
+                f"{self._matrix_rows}"
+            )
+        rows = self._config.crossbar_rows
+        cols = self._config.logical_cols
+        out = np.zeros(self._matrix_cols, dtype=np.float32)
+        for r in range(self._plan.row_tiles):
+            segment = vector[r * rows:(r + 1) * rows]
+            if not np.any(segment):
+                continue  # zero input segment: wordlines stay quiet
+            for c in range(self._plan.col_tiles):
+                width = min(cols, self._matrix_cols - c * cols)
+                out[c * cols:c * cols + width] += (
+                    self._grid[r][c].mvm(segment)[:width]
+                )
+        return out
+
+    def mvm_batch(self, matrix: np.ndarray) -> np.ndarray:
+        """MVM for each input row."""
+        matrix = np.asarray(matrix, dtype=np.float32)
+        if matrix.ndim != 2:
+            raise MappingError("mvm_batch expects 2-D input")
+        return np.stack([self.mvm(row) for row in matrix])
+
+    def rewrite_rows(self, row_ids: np.ndarray, values: np.ndarray) -> float:
+        """Rewrite logical matrix rows (a vertex update round).
+
+        Returns the serial-per-crossbar / parallel-across-crossbars
+        latency: the busiest row tile's write count times the row cost.
+        """
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float32)
+        if values.shape != (row_ids.size, self._matrix_cols):
+            raise MappingError("values must be (len(row_ids), matrix_cols)")
+        if row_ids.size and (
+            row_ids.min() < 0 or row_ids.max() >= self._matrix_rows
+        ):
+            raise MappingError("row ids out of range")
+        rows = self._config.crossbar_rows
+        cols = self._config.logical_cols
+        worst = 0.0
+        for r in range(self._plan.row_tiles):
+            mask = (row_ids >= r * rows) & (row_ids < (r + 1) * rows)
+            local_ids = row_ids[mask] - r * rows
+            if local_ids.size == 0:
+                continue
+            tile_cost = 0.0
+            for c in range(self._plan.col_tiles):
+                width = min(cols, self._matrix_cols - c * cols)
+                block = values[mask][:, c * cols:c * cols + width]
+                tile_cost = max(
+                    tile_cost,
+                    self._grid[r][c].write_rows(local_ids, block),
+                )
+            worst = max(worst, tile_cost)
+        return worst
+
+    def stats(self) -> CrossbarStats:
+        """Merged event counters across the whole grid."""
+        total = CrossbarStats()
+        for row in self._grid:
+            for crossbar in row:
+                total.merge(crossbar.stats)
+        return total
+
+    def resident_matrix(self) -> np.ndarray:
+        """Read the grid back into a dense matrix (test helper)."""
+        rows = self._config.crossbar_rows
+        cols = self._config.logical_cols
+        out = np.zeros((self._matrix_rows, self._matrix_cols),
+                       dtype=np.float32)
+        for r in range(self._plan.row_tiles):
+            height = min(rows, self._matrix_rows - r * rows)
+            for c in range(self._plan.col_tiles):
+                width = min(cols, self._matrix_cols - c * cols)
+                out[r * rows:r * rows + height,
+                    c * cols:c * cols + width] = (
+                    self._grid[r][c].values[:height, :width]
+                )
+        return out
+
+
+def combine(
+    features: np.ndarray,
+    weights: "MappedMatrix",
+) -> np.ndarray:
+    """Combination stage: stream feature rows through mapped weights."""
+    return weights.mvm_batch(features)
+
+
+def aggregate(
+    graph: Graph,
+    mapped_features: "MappedMatrix",
+    vertices: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Aggregation stage: edge-serial row-major execution.
+
+    For each output vertex, every neighbour's resident feature row is
+    activated with a unit input (one wordline fires per edge) and the
+    bitline currents accumulate — the hardware analogue of summing
+    neighbour features.  Returns the *unnormalised* neighbour sums for
+    ``vertices`` (default: all).
+    """
+    if mapped_features.shape[0] != graph.num_vertices:
+        raise MappingError("mapped feature matrix does not cover the graph")
+    if vertices is None:
+        vertices = np.arange(graph.num_vertices)
+    vertices = np.asarray(vertices, dtype=np.int64)
+    dim = mapped_features.shape[1]
+    out = np.zeros((vertices.size, dim), dtype=np.float32)
+    for i, v in enumerate(vertices):
+        acc = np.zeros(dim, dtype=np.float32)
+        for u in graph.neighbors(int(v)):
+            one_hot = np.zeros(mapped_features.shape[0], dtype=np.float32)
+            one_hot[u] = 1.0
+            acc += mapped_features.mvm(one_hot)
+        out[i] = acc
+    return out

@@ -1,0 +1,181 @@
+"""PE / Tile / Chip hierarchy with crossbar resource accounting.
+
+The pipeline and allocation layers do not talk to individual crossbars;
+they reserve *pools* of crossbars from a :class:`Chip` and charge costs to
+those pools.  The hierarchy types exist to (a) enforce the resource budget
+the allocator works against (the 16 GB array constraint), (b) attribute
+busy/idle time per pool for the Fig. 4 / Fig. 15 idle-time experiments, and
+(c) provide the structural counts the area/power report needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import AllocationError
+from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
+from repro.hardware.crossbar import CrossbarStats
+
+
+@dataclass
+class ProcessingElement:
+    """One PE: a fixed bundle of crossbars plus its peripheral circuits."""
+
+    config: HardwareConfig
+
+    @property
+    def num_crossbars(self) -> int:
+        """Crossbars per PE (Table II: 32, in a 4x8 layout)."""
+        return self.config.crossbars_per_pe
+
+
+@dataclass
+class Tile:
+    """One tile: 8 PEs plus buffers and functional units."""
+
+    config: HardwareConfig
+
+    @property
+    def num_pes(self) -> int:
+        """PEs per tile (Table II: 8)."""
+        return self.config.pes_per_tile
+
+    @property
+    def num_crossbars(self) -> int:
+        """Crossbars per tile."""
+        return self.config.crossbars_per_tile
+
+
+class CrossbarPool:
+    """A named reservation of crossbars charged with usage statistics.
+
+    A pool corresponds to "the crossbars serving stage i" (XBSi in the
+    paper's figures).  ``replicas`` records how many copies of the mapped
+    matrix the pool holds; ``crossbars_per_replica`` times ``replicas``
+    equals the pool size.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        crossbars_per_replica: int,
+        replicas: int = 1,
+    ) -> None:
+        if crossbars_per_replica < 1:
+            raise AllocationError("crossbars_per_replica must be >= 1")
+        if replicas < 1:
+            raise AllocationError("replicas must be >= 1")
+        self.name = name
+        self.crossbars_per_replica = crossbars_per_replica
+        self.replicas = replicas
+        self.stats = CrossbarStats()
+
+    @property
+    def size(self) -> int:
+        """Total crossbars reserved by this pool."""
+        return self.crossbars_per_replica * self.replicas
+
+    def busy_fraction(self, total_time_ns: float) -> float:
+        """Fraction of ``total_time_ns`` this pool was busy."""
+        if total_time_ns <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_ns / total_time_ns)
+
+    def idle_fraction(self, total_time_ns: float) -> float:
+        """Fraction of ``total_time_ns`` this pool sat idle (Fig. 4/15)."""
+        return 1.0 - self.busy_fraction(total_time_ns)
+
+    def __repr__(self) -> str:
+        return (
+            f"CrossbarPool(name={self.name!r}, replicas={self.replicas}, "
+            f"per_replica={self.crossbars_per_replica})"
+        )
+
+
+class Chip:
+    """Resource manager for the whole accelerator.
+
+    Pools are reserved against the total crossbar budget implied by the
+    16 GB array constraint.  The chip never over-commits: reservations that
+    would exceed the budget raise :class:`AllocationError`.
+    """
+
+    def __init__(self, config: HardwareConfig = DEFAULT_CONFIG) -> None:
+        self._config = config
+        self._pools: Dict[str, CrossbarPool] = {}
+
+    @property
+    def config(self) -> HardwareConfig:
+        """The hardware configuration."""
+        return self._config
+
+    @property
+    def total_crossbars(self) -> int:
+        """Total crossbar budget."""
+        return self._config.total_crossbars
+
+    @property
+    def reserved_crossbars(self) -> int:
+        """Crossbars currently reserved across all pools."""
+        return sum(pool.size for pool in self._pools.values())
+
+    @property
+    def free_crossbars(self) -> int:
+        """Crossbars still available."""
+        return self.total_crossbars - self.reserved_crossbars
+
+    @property
+    def pools(self) -> Dict[str, CrossbarPool]:
+        """Mapping of pool name to pool (do not mutate)."""
+        return dict(self._pools)
+
+    def reserve(
+        self,
+        name: str,
+        crossbars_per_replica: int,
+        replicas: int = 1,
+    ) -> CrossbarPool:
+        """Reserve a pool; raises if the name is taken or budget exceeded."""
+        if name in self._pools:
+            raise AllocationError(f"pool {name!r} already reserved")
+        pool = CrossbarPool(name, crossbars_per_replica, replicas)
+        if pool.size > self.free_crossbars:
+            raise AllocationError(
+                f"pool {name!r} needs {pool.size} crossbars, only "
+                f"{self.free_crossbars} free of {self.total_crossbars}"
+            )
+        self._pools[name] = pool
+        return pool
+
+    def grow_replicas(self, name: str, additional: int) -> CrossbarPool:
+        """Add replicas to an existing pool within the budget."""
+        if additional < 0:
+            raise AllocationError("additional replicas must be >= 0")
+        pool = self._pools.get(name)
+        if pool is None:
+            raise AllocationError(f"unknown pool {name!r}")
+        needed = additional * pool.crossbars_per_replica
+        if needed > self.free_crossbars:
+            raise AllocationError(
+                f"growing pool {name!r} by {additional} replicas needs "
+                f"{needed} crossbars, only {self.free_crossbars} free"
+            )
+        pool.replicas += additional
+        return pool
+
+    def release(self, name: str) -> None:
+        """Release a pool back to the budget."""
+        if name not in self._pools:
+            raise AllocationError(f"unknown pool {name!r}")
+        del self._pools[name]
+
+    def release_all(self) -> None:
+        """Release every pool."""
+        self._pools.clear()
+
+    def utilization(self) -> float:
+        """Reserved fraction of the crossbar budget."""
+        if self.total_crossbars == 0:
+            return 0.0
+        return self.reserved_crossbars / self.total_crossbars

@@ -1,0 +1,81 @@
+"""Global buffer and off-chip memory traffic model.
+
+The central controller prefetches inputs into a 128 KB global buffer and
+writes results back to off-chip memory in batches (Section IV-A (2)).
+Pipelining overlaps communication with computation (Section III-A), so the
+pipeline model charges transfer *energy* always but transfer *latency* only
+for the non-overlappable cold-start portion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
+
+
+@dataclass
+class TrafficRecord:
+    """Bytes moved through the buffer hierarchy for one stage/run."""
+
+    buffer_bytes: float = 0.0
+    offchip_bytes: float = 0.0
+
+    def merge(self, other: "TrafficRecord") -> "TrafficRecord":
+        """Accumulate another record into this one (returns self)."""
+        self.buffer_bytes += other.buffer_bytes
+        self.offchip_bytes += other.offchip_bytes
+        return self
+
+
+class GlobalBuffer:
+    """128 KB on-chip SRAM staging buffer."""
+
+    DEFAULT_CAPACITY_BYTES = 128 * 1024
+
+    def __init__(
+        self,
+        capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigError("buffer capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.traffic = TrafficRecord()
+
+    def stage(self, num_bytes: float) -> int:
+        """Record staging ``num_bytes`` through the buffer.
+
+        Returns the number of buffer-sized chunks the transfer needs (the
+        controller double-buffers, so chunk count drives only cold-start
+        latency, not steady-state throughput).
+        """
+        if num_bytes < 0:
+            raise ConfigError("num_bytes must be >= 0")
+        self.traffic.buffer_bytes += num_bytes
+        return max(1, -(-int(num_bytes) // self.capacity_bytes))
+
+
+class OffChipMemory:
+    """Off-chip DRAM channel with a fixed bandwidth."""
+
+    def __init__(self, config: HardwareConfig = DEFAULT_CONFIG) -> None:
+        self._config = config
+        self.traffic = TrafficRecord()
+
+    @property
+    def bandwidth_bytes_per_ns(self) -> float:
+        """Channel bandwidth in bytes/ns (GB/s numerically equals B/ns)."""
+        return self._config.offchip_bandwidth_gbps
+
+    def transfer_latency_ns(self, num_bytes: float) -> float:
+        """Latency to move ``num_bytes`` at full bandwidth."""
+        if num_bytes < 0:
+            raise ConfigError("num_bytes must be >= 0")
+        return num_bytes / self.bandwidth_bytes_per_ns
+
+    def transfer(self, num_bytes: float) -> float:
+        """Record a transfer and return its latency in ns."""
+        latency = self.transfer_latency_ns(num_bytes)
+        self.traffic.offchip_bytes += num_bytes
+        return latency

@@ -1,0 +1,103 @@
+"""Pipeline trace utilities: Gantt rendering and utilisation reports.
+
+Turns a :class:`~repro.pipeline.simulator.PipelineResult` into
+human-readable artefacts:
+
+* :func:`render_gantt` — a fixed-width text Gantt chart (one row per
+  stage, one glyph per time bucket), handy for eyeballing drains and
+  bottlenecks in examples and notebooks;
+* :func:`utilization_report` — per-stage busy/idle numbers in the format
+  the Fig. 4 / Fig. 15 experiments tabulate;
+* :func:`bottleneck_stage` — the stage whose busy time dominates (the
+  ``(B-1) * T_max`` term's owner).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import PipelineError
+from repro.pipeline.simulator import PipelineResult
+
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def render_gantt(
+    result: PipelineResult,
+    stage_names: Optional[Sequence[str]] = None,
+    width: int = 72,
+) -> str:
+    """Render the schedule as a text Gantt chart.
+
+    Each row is one stage; each column a ``makespan / width`` bucket.  A
+    cell shows the (mod-36) micro-batch id occupying the bucket, or ``.``
+    when the stage is idle.
+    """
+    if width < 8:
+        raise PipelineError("width must be >= 8")
+    names = (
+        list(stage_names) if stage_names is not None
+        else [f"S{i}" for i in range(result.num_stages)]
+    )
+    if len(names) != result.num_stages:
+        raise PipelineError("stage_names length mismatch")
+    total = result.total_time_ns
+    if total <= 0:
+        raise PipelineError("empty schedule")
+    bucket = total / width
+    label_width = max(len(n) for n in names) + 1
+
+    lines: List[str] = []
+    for i, name in enumerate(names):
+        row = ["."] * width
+        for j in range(result.num_microbatches):
+            start = int(result.starts[i, j] / bucket)
+            end = int(np.ceil(result.ends[i, j] / bucket))
+            glyph = _GLYPHS[j % len(_GLYPHS)]
+            for k in range(start, min(end, width)):
+                row[k] = glyph
+        lines.append(f"{name:<{label_width}}|{''.join(row)}|")
+    scale = f"{'':<{label_width}} 0{'':{width - 8}}{total:.3g} ns"
+    lines.append(scale)
+    return "\n".join(lines)
+
+
+def utilization_report(
+    result: PipelineResult,
+    stage_names: Optional[Sequence[str]] = None,
+) -> List[Dict[str, float]]:
+    """Per-stage busy time / busy fraction / idle fraction rows."""
+    names = (
+        list(stage_names) if stage_names is not None
+        else [f"S{i}" for i in range(result.num_stages)]
+    )
+    if len(names) != result.num_stages:
+        raise PipelineError("stage_names length mismatch")
+    total = result.total_time_ns
+    busy = result.stage_busy_ns
+    rows = []
+    for i, name in enumerate(names):
+        fraction = float(busy[i] / total) if total > 0 else 0.0
+        rows.append({
+            "stage": name,
+            "busy_ns": float(busy[i]),
+            "busy_fraction": min(1.0, fraction),
+            "idle_fraction": result.idle_fraction(i),
+        })
+    return rows
+
+
+def bottleneck_stage(
+    result: PipelineResult,
+    stage_names: Optional[Sequence[str]] = None,
+) -> str:
+    """Name of the stage with the largest total busy time."""
+    names = (
+        list(stage_names) if stage_names is not None
+        else [f"S{i}" for i in range(result.num_stages)]
+    )
+    if len(names) != result.num_stages:
+        raise PipelineError("stage_names length mismatch")
+    return names[int(np.argmax(result.stage_busy_ns))]

@@ -1,0 +1,152 @@
+"""From-scratch MLP regressor — GoPIM's execution-time predictor core.
+
+The paper settles on a three-layer MLP (10 input neurons, 256 hidden, 1
+output) after sweeping depth and width (Fig. 9b/c).  This implementation
+supports arbitrary hidden-layer tuples so those sweeps can be reproduced,
+trains with Adam on mini-batch MSE, and standardises inputs/targets
+internally like the other :class:`~repro.predictor.regressors.Regressor`
+subclasses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PredictorError
+from repro.predictor.regressors import Regressor
+
+
+class MLPRegressor(Regressor):
+    """Multi-layer perceptron with ReLU activations and Adam training.
+
+    Parameters
+    ----------
+    hidden_layers:
+        Sizes of the hidden layers; ``(256,)`` is the paper's pick (a
+        "three-layer MLP": input + one hidden + output).
+    epochs / batch_size / learning_rate:
+        Adam training schedule.
+    weight_decay:
+        L2 regularisation strength.
+    random_state:
+        Seed for weight init and batch shuffling (deterministic fits).
+    """
+
+    name = "MLP"
+
+    def __init__(
+        self,
+        hidden_layers: Sequence[int] = (256,),
+        epochs: int = 200,
+        batch_size: int = 64,
+        learning_rate: float = 1e-3,
+        weight_decay: float = 1e-5,
+        random_state: int = 0,
+    ) -> None:
+        super().__init__()
+        if not hidden_layers or any(h < 1 for h in hidden_layers):
+            raise PredictorError("hidden_layers must be positive sizes")
+        if epochs < 1 or batch_size < 1:
+            raise PredictorError("epochs and batch_size must be >= 1")
+        if learning_rate <= 0:
+            raise PredictorError("learning_rate must be positive")
+        if weight_decay < 0:
+            raise PredictorError("weight_decay must be >= 0")
+        self._hidden = tuple(int(h) for h in hidden_layers)
+        self._epochs = epochs
+        self._batch_size = batch_size
+        self._lr = learning_rate
+        self._decay = weight_decay
+        self._seed = random_state
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self.loss_history: List[float] = []
+
+    @property
+    def num_layers(self) -> int:
+        """Layer count in the paper's convention (input + hidden + output)."""
+        return len(self._hidden) + 2
+
+    # ------------------------------------------------------------------
+    def _init_params(self, dims: Sequence[int], rng: np.random.Generator) -> None:
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(dims[:-1], dims[1:]):
+            scale = np.sqrt(2.0 / fan_in)  # He init for ReLU nets
+            self._weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+    def _forward(self, x: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray]]:
+        activations = [x]
+        out = x
+        last = len(self._weights) - 1
+        for i, (w, b) in enumerate(zip(self._weights, self._biases)):
+            out = out @ w + b
+            if i != last:
+                out = np.maximum(out, 0.0)
+            activations.append(out)
+        return out, activations
+
+    def _fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self._seed)
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        targets = (y - self._y_mean) / self._y_std
+
+        dims = [x.shape[1], *self._hidden, 1]
+        self._init_params(dims, rng)
+        m_w = [np.zeros_like(w) for w in self._weights]
+        v_w = [np.zeros_like(w) for w in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        self.loss_history = []
+
+        n = x.shape[0]
+        for _ in range(self._epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self._batch_size):
+                batch = order[start:start + self._batch_size]
+                xb, yb = x[batch], targets[batch]
+                pred, acts = self._forward(xb)
+                err = pred.ravel() - yb
+                epoch_loss += float((err ** 2).sum())
+
+                # Backprop through the MSE head.
+                grad = (2.0 / xb.shape[0]) * err[:, None]
+                grads_w: List[np.ndarray] = [None] * len(self._weights)
+                grads_b: List[np.ndarray] = [None] * len(self._biases)
+                for layer in range(len(self._weights) - 1, -1, -1):
+                    grads_w[layer] = acts[layer].T @ grad + self._decay * self._weights[layer]
+                    grads_b[layer] = grad.sum(axis=0)
+                    if layer > 0:
+                        grad = grad @ self._weights[layer].T
+                        grad = grad * (acts[layer] > 0)
+
+                step += 1
+                correction1 = 1 - beta1 ** step
+                correction2 = 1 - beta2 ** step
+                for layer in range(len(self._weights)):
+                    m_w[layer] = beta1 * m_w[layer] + (1 - beta1) * grads_w[layer]
+                    v_w[layer] = beta2 * v_w[layer] + (1 - beta2) * grads_w[layer] ** 2
+                    m_b[layer] = beta1 * m_b[layer] + (1 - beta1) * grads_b[layer]
+                    v_b[layer] = beta2 * v_b[layer] + (1 - beta2) * grads_b[layer] ** 2
+                    self._weights[layer] -= self._lr * (
+                        (m_w[layer] / correction1)
+                        / (np.sqrt(v_w[layer] / correction2) + eps)
+                    )
+                    self._biases[layer] -= self._lr * (
+                        (m_b[layer] / correction1)
+                        / (np.sqrt(v_b[layer] / correction2) + eps)
+                    )
+            self.loss_history.append(epoch_loss / n)
+
+    def _predict(self, x: np.ndarray) -> np.ndarray:
+        pred, _ = self._forward(x)
+        return pred.ravel() * self._y_std + self._y_mean

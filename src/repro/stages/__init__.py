@@ -1,0 +1,31 @@
+"""Stage decomposition and the analytic latency model."""
+
+from repro.stages.stage import StageKind, StageSpec, build_stage_chain
+from repro.stages.workload import (
+    DEFAULT_MICRO_BATCH,
+    Workload,
+    workload_from_dataset,
+)
+from repro.stages.analysis import (
+    StageProfile,
+    aggregation_combination_ratios,
+    profile_stages,
+    update_time_share,
+)
+from repro.stages.latency import StageActivity, StageTimingModel, TimingParams
+
+__all__ = [
+    "StageKind",
+    "StageSpec",
+    "build_stage_chain",
+    "DEFAULT_MICRO_BATCH",
+    "Workload",
+    "workload_from_dataset",
+    "StageActivity",
+    "StageTimingModel",
+    "TimingParams",
+    "StageProfile",
+    "aggregation_combination_ratios",
+    "profile_stages",
+    "update_time_share",
+]

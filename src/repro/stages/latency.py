@@ -1,0 +1,347 @@
+"""Analytic per-stage latency model (the NeuroSim-style cost core).
+
+Serialisation structure (documented in DESIGN.md section 4):
+
+* **Row tiles serialise** within a replica — partial sums accumulate
+  through the shared S+A chain, so a logical MVM over a mapped matrix with
+  ``rt`` row tiles takes ``rt`` crossbar activations.  **Column tiles run
+  in parallel** (independent ADC lanes).
+* **CO/LC stages** stream one input row per micro-batch vertex:
+  ``T = b * rt(d_in) * mvm_latency / replicas``.
+* **AG/GC stages** are *edge-proportional*: each neighbour contributes one
+  input slot (the paper's row-major execution), plus a sparse scan of the
+  full-length adjacency row in groups of ``scan_group_tiles`` row tiles:
+  ``T = (edges(mb) * mvm_latency + b * ceil(rt(N)/g) * read_latency) / r``.
+* **Vertex updating** (AG only): a micro-batch's freshly combined features
+  are written into the mapped feature matrix.  Writes serialise within a
+  crossbar (each row takes ``write_pulses`` program-verify pulses) and
+  parallelise across crossbars, so the round costs the per-crossbar
+  maximum — the quantity ISU's interleaved mapping balances (Fig. 7).
+* **Replicas** split a micro-batch's input rows, so effective speedup caps
+  at the micro-batch size.
+* **ReFlip's reload penalty**: its column-major execution re-writes one
+  source-vertex row per processed edge (``reload_penalty`` rows per edge),
+  which is why ReFlip loses energy on dense graphs (Section VII-B).
+
+All latencies are nanoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import PipelineError
+from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
+from repro.mapping.selective import UpdatePlan, build_update_plan
+from repro.mapping.tiling import plan_tiling
+from repro.stages.stage import StageKind, StageSpec
+from repro.stages.workload import Workload
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Calibration constants of the analytic model.
+
+    ``scan_group_tiles``: adjacency rows are scanned for non-empty
+    segments at a granularity of this many row tiles per read cycle.
+    ``write_pulses``: ReRAM program-verify pulses per row write (tens of
+    pulses is typical for multi-level cells).
+    ``reload_penalty``: extra source-row writes per edge (0 for all
+    accelerators except ReFlip's hybrid execution, which uses 1.0).
+    ``intrinsic_edge_parallelism``: replica-independent parallel factor on
+    edge-proportional stages; ReFlip's hybrid row/column execution engages
+    several feature row-tiles concurrently without explicit replicas, which
+    is what it trades the reload penalty for.
+    """
+
+    scan_group_tiles: int = 4
+    write_pulses: int = 2
+    reload_penalty: float = 0.0
+    intrinsic_edge_parallelism: int = 1
+
+    def __post_init__(self) -> None:
+        if self.scan_group_tiles < 1:
+            raise PipelineError("scan_group_tiles must be >= 1")
+        if self.write_pulses < 1:
+            raise PipelineError("write_pulses must be >= 1")
+        if self.reload_penalty < 0:
+            raise PipelineError("reload_penalty must be >= 0")
+        if self.intrinsic_edge_parallelism < 1:
+            raise PipelineError("intrinsic_edge_parallelism must be >= 1")
+
+
+@dataclass
+class StageActivity:
+    """Event counts for one (stage, micro-batch) execution — energy input."""
+
+    mvm_row_streams: int = 0      # logical input rows streamed (x row tiles)
+    crossbars_per_stream: int = 0  # column tiles active per stream
+    rows_written: int = 0          # total feature/weight rows programmed
+    buffer_bytes: float = 0.0
+    offchip_bytes: float = 0.0
+
+
+class StageTimingModel:
+    """Computes per-(stage, micro-batch) latency and activity for a workload.
+
+    Parameters
+    ----------
+    workload:
+        The (graph, model, micro-batch) job.
+    config:
+        Hardware constants.
+    params:
+        Model calibration constants.
+    update_plan:
+        Vertex update scheme; defaults to full updating with index mapping
+        (the Serial / ReGraphX behaviour).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: HardwareConfig = DEFAULT_CONFIG,
+        params: TimingParams = TimingParams(),
+        update_plan: Optional[UpdatePlan] = None,
+    ) -> None:
+        self._workload = workload
+        self._config = config
+        self._params = params
+        if update_plan is None:
+            update_plan = build_update_plan(
+                workload.graph, strategy="full",
+                rows_per_crossbar=config.crossbar_rows,
+            )
+        self._plan = update_plan
+        self._stages = workload.stage_chain()
+        # Cache per-micro-batch write maxima per epoch phase; computing the
+        # per-crossbar histogram per call would dominate runtime otherwise.
+        self._write_max_cache: Dict[tuple, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def workload(self) -> Workload:
+        """The workload being modelled."""
+        return self._workload
+
+    @property
+    def config(self) -> HardwareConfig:
+        """Hardware constants in use."""
+        return self._config
+
+    @property
+    def params(self) -> TimingParams:
+        """Calibration constants in use."""
+        return self._params
+
+    @property
+    def update_plan(self) -> UpdatePlan:
+        """The vertex update scheme in use."""
+        return self._plan
+
+    @property
+    def stages(self):
+        """The 4L stage chain."""
+        return list(self._stages)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def crossbars_per_replica(self, stage: StageSpec) -> int:
+        """Crossbars one replica of the stage's mapped matrix occupies."""
+        plan = plan_tiling(stage.mapped_rows, stage.mapped_cols, self._config)
+        return plan.num_crossbars
+
+    def max_useful_replicas(self, stage: StageSpec) -> int:
+        """Replicas beyond this add no speedup (inputs can't split further).
+
+        CO/LC stages split a micro-batch's input rows, capping at the
+        micro-batch size (Table VI: ~60 CO replicas at b=64 on ddi).
+        AG/GC stages split *edge* work, capping at the mean per-micro-batch
+        edge count (Table VI: hundreds of AG replicas on ddi).
+        """
+        if stage.kind.is_edge_proportional:
+            return max(1, int(self._workload.average_microbatch_edges()))
+        return self._workload.micro_batch
+
+    def _row_tiles(self, rows: int) -> int:
+        return -(-rows // self._config.crossbar_rows)
+
+    def _col_tiles(self, cols: int) -> int:
+        return -(-cols // self._config.logical_cols)
+
+    # ------------------------------------------------------------------
+    # Compute (MVM) time
+    # ------------------------------------------------------------------
+    def compute_time_ns(
+        self,
+        stage: StageSpec,
+        mb_index: int,
+        replicas: int = 1,
+    ) -> float:
+        """MVM + scan latency of one micro-batch at ``replicas`` copies."""
+        if replicas < 1:
+            raise PipelineError("replicas must be >= 1")
+        cfg = self._config
+        b = self._workload.microbatch_size(mb_index)
+        if stage.kind.is_edge_proportional:
+            edges = self._workload.microbatch_edges(mb_index)
+            effective = min(
+                replicas * self._params.intrinsic_edge_parallelism,
+                max(1, edges),
+            )
+            mvm = edges * cfg.mvm_latency_ns
+            row_tiles = self._row_tiles(stage.mapped_rows)
+            groups = -(-row_tiles // self._params.scan_group_tiles)
+            scan = b * groups * cfg.read_latency_ns
+            return (mvm + scan) / effective
+        effective = min(replicas, b)
+        row_tiles = self._row_tiles(stage.input_dim)
+        return b * row_tiles * cfg.mvm_latency_ns / effective
+
+    # ------------------------------------------------------------------
+    # Vertex / weight update (write) time
+    # ------------------------------------------------------------------
+    def _write_max_rows(self, mb_index: int, full_round: bool) -> int:
+        """Busiest-crossbar row count for a micro-batch's update round."""
+        key = (mb_index, full_round)
+        cached = self._write_max_cache.get(key)
+        if cached is not None:
+            return cached
+        vertices = self._workload.microbatch_vertices(mb_index)
+        if not full_round:
+            vertices = np.intersect1d(
+                vertices, self._plan.important, assume_unique=True,
+            )
+        if vertices.size == 0:
+            result = 0
+        else:
+            counts = self._plan.mapping.rows_per_crossbar_for(vertices)
+            result = int(counts.max())
+        self._write_max_cache[key] = result
+        return result
+
+    def write_time_ns(self, stage: StageSpec, mb_index: int) -> float:
+        """Update-write latency charged to this (stage, micro-batch).
+
+        AG stages write the micro-batch's combined features into the mapped
+        feature matrix; the expected cost mixes the every-epoch round over
+        important vertices with the 1-in-``minor_period`` full refresh.
+        CO stages absorb the (small) per-epoch weight rewrite.  Replicas do
+        not reduce write time: every replica is programmed, in parallel
+        across replicas (distinct crossbars).
+        """
+        cfg = self._config
+        pulses = self._params.write_pulses
+        per_row = cfg.row_write_latency_ns * pulses
+        if stage.kind is StageKind.AGGREGATION:
+            period = self._plan.minor_period
+            partial = self._write_max_rows(mb_index, full_round=False)
+            full = self._write_max_rows(mb_index, full_round=True)
+            expected = ((period - 1) * partial + full) / period
+            return expected * per_row
+        if stage.kind is StageKind.COMBINATION:
+            # Weight rewrite once per epoch, amortised over micro-batches.
+            rows = min(cfg.crossbar_rows, stage.mapped_rows)
+            return rows * per_row / self._workload.num_microbatches
+        return 0.0
+
+    def reload_time_ns(self, stage: StageSpec, mb_index: int) -> float:
+        """ReFlip-style repeated source-vertex loads (0 unless configured)."""
+        if self._params.reload_penalty == 0.0:
+            return 0.0
+        if not stage.kind.is_edge_proportional:
+            return 0.0
+        edges = self._workload.microbatch_edges(mb_index)
+        return (
+            edges * self._params.reload_penalty
+            * self._config.row_write_latency_ns
+        )
+
+    # ------------------------------------------------------------------
+    # Totals
+    # ------------------------------------------------------------------
+    def microbatch_time_ns(
+        self,
+        stage: StageSpec,
+        mb_index: int,
+        replicas: int = 1,
+    ) -> float:
+        """Full latency of one (stage, micro-batch) execution."""
+        return (
+            self.compute_time_ns(stage, mb_index, replicas)
+            + self.write_time_ns(stage, mb_index)
+            + self.reload_time_ns(stage, mb_index)
+        )
+
+    def mean_stage_time_ns(self, stage: StageSpec, replicas: int = 1) -> float:
+        """Mean per-micro-batch latency across the epoch (allocator input)."""
+        total = 0.0
+        for mb in range(self._workload.num_microbatches):
+            total += self.microbatch_time_ns(stage, mb, replicas)
+        return total / self._workload.num_microbatches
+
+    def no_replica_times(self) -> Dict[str, float]:
+        """Stage name -> mean time without replication (predictor target)."""
+        return {
+            stage.name: self.mean_stage_time_ns(stage, 1)
+            for stage in self._stages
+        }
+
+    # ------------------------------------------------------------------
+    # Activity for the energy model
+    # ------------------------------------------------------------------
+    def activity(
+        self,
+        stage: StageSpec,
+        mb_index: int,
+    ) -> StageActivity:
+        """Event counts of one (stage, micro-batch) execution."""
+        cfg = self._config
+        b = self._workload.microbatch_size(mb_index)
+        col_tiles = self._col_tiles(stage.mapped_cols)
+        value_bytes = max(1, cfg.input_bits // 8)
+
+        if stage.kind.is_edge_proportional:
+            edges = self._workload.microbatch_edges(mb_index)
+            streams = edges
+            buffer_bytes = float(
+                edges * value_bytes + b * stage.mapped_cols * value_bytes
+            )
+        else:
+            streams = b * self._row_tiles(stage.input_dim)
+            buffer_bytes = float(
+                b * (stage.input_dim + stage.mapped_cols) * value_bytes
+            )
+
+        rows_written = 0
+        pulses = self._params.write_pulses
+        if stage.kind is StageKind.AGGREGATION:
+            period = self._plan.minor_period
+            vertices = self._workload.microbatch_vertices(mb_index)
+            important = np.intersect1d(
+                vertices, self._plan.important, assume_unique=True,
+            ).size
+            expected_rows = ((period - 1) * important + vertices.size) / period
+            rows_written = int(round(expected_rows * pulses * col_tiles))
+        elif stage.kind is StageKind.COMBINATION:
+            rows = min(cfg.crossbar_rows, stage.mapped_rows)
+            rows_written = int(round(
+                rows * pulses * col_tiles / self._workload.num_microbatches
+            ))
+        if self._params.reload_penalty > 0 and stage.kind.is_edge_proportional:
+            edges = self._workload.microbatch_edges(mb_index)
+            rows_written += int(round(
+                edges * self._params.reload_penalty * pulses * col_tiles
+            ))
+
+        return StageActivity(
+            mvm_row_streams=streams,
+            crossbars_per_stream=col_tiles,
+            rows_written=rows_written,
+            buffer_bytes=buffer_bytes,
+            offchip_bytes=buffer_bytes * 0.5,
+        )

@@ -1,0 +1,99 @@
+"""AcceleratorModel: report structure, energy accounting, floors."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.base import AcceleratorModel
+from repro.accelerators.catalog import gopim, serial
+from repro.allocation.greedy import greedy_allocation
+from repro.errors import ConfigError
+from repro.pipeline.simulator import ScheduleMode
+
+
+def test_serial_report_structure(small_workload, small_config):
+    report = serial().run(small_workload, small_config)
+    assert report.accelerator == "Serial"
+    assert report.workload == "small"
+    assert report.total_time_ns > 0
+    assert report.energy_pj > 0
+    assert len(report.stage_names) == small_workload.num_stages
+    np.testing.assert_array_equal(report.replicas, 1)
+    assert report.crossbars_reserved == sum(
+        report.allocation.problem.crossbars_per_replica,
+    )
+
+
+def test_pipelining_beats_serial(small_workload, small_config):
+    base = serial().run(small_workload, small_config)
+    pp = AcceleratorModel(name="pp", schedule=ScheduleMode.INTRA_INTER)
+    piped = pp.run(small_workload, small_config)
+    assert piped.total_time_ns < base.total_time_ns
+
+
+def test_replicas_beat_no_replicas(small_workload, small_config):
+    pp = AcceleratorModel(name="pp", schedule=ScheduleMode.INTRA_INTER)
+    allocated = AcceleratorModel(
+        name="alloc", schedule=ScheduleMode.INTRA_INTER,
+        allocator=greedy_allocation,
+    )
+    assert (
+        allocated.run(small_workload, small_config).total_time_ns
+        < pp.run(small_workload, small_config).total_time_ns
+    )
+
+
+def test_gopim_run(small_workload, small_config):
+    report = gopim().run(small_workload, small_config)
+    assert report.accelerator == "GoPIM"
+    assert np.any(report.replicas > 1)
+    assert report.crossbars_reserved <= small_config.total_crossbars
+
+
+def test_energy_breakdown_categories(small_workload, small_config):
+    report = gopim().run(small_workload, small_config)
+    d = report.energy.as_dict()
+    assert d["crossbar_read_pj"] > 0
+    assert d["crossbar_write_pj"] > 0
+    assert d["peripheral_pj"] > 0
+    assert d["static_pj"] > 0
+    assert d["total_pj"] == pytest.approx(
+        sum(v for k, v in d.items() if k != "total_pj"),
+    )
+
+
+def test_idle_fractions_in_range(small_workload, small_config):
+    report = serial().run(small_workload, small_config)
+    idle = report.idle_fractions()
+    assert np.all(idle >= 0.0) and np.all(idle <= 1.0)
+    # In serial execution every pool idles while the others run.
+    assert idle.mean() > 0.5
+
+
+def test_budget_too_small_raises(small_workload):
+    from repro.hardware.config import HardwareConfig
+
+    tiny = HardwareConfig().scaled(array_capacity_bytes=1024)  # 1 crossbar
+    with pytest.raises(ConfigError):
+        serial().run(small_workload, tiny)
+
+
+def test_isu_faster_than_full(small_workload, small_config):
+    full = AcceleratorModel(name="full", schedule=ScheduleMode.INTRA_INTER)
+    isu = AcceleratorModel(
+        name="isu", schedule=ScheduleMode.INTRA_INTER, update_strategy="isu",
+    )
+    t_full = full.run(small_workload, small_config).total_time_ns
+    t_isu = isu.run(small_workload, small_config).total_time_ns
+    assert t_isu < t_full
+
+
+def test_predicted_times_override_changes_allocation(small_workload, small_config):
+    # Feeding wildly wrong predictions must still produce a feasible run.
+    wrong = {name: 1.0 for name in
+             [s.name for s in small_workload.stage_chain()]}
+    acc = AcceleratorModel(
+        name="wrong", schedule=ScheduleMode.INTRA_INTER,
+        allocator=greedy_allocation, predicted_times=wrong,
+    )
+    report = acc.run(small_workload, small_config)
+    assert report.crossbars_reserved <= small_config.total_crossbars

@@ -1,0 +1,108 @@
+"""Baseline allocators: uniform, fixed-ratio, CO-only, exhaustive."""
+
+import numpy as np
+import pytest
+
+from repro.allocation.baselines import (
+    combination_only_allocation,
+    exhaustive_allocation,
+    fixed_ratio_allocation,
+    serial_allocation,
+    uniform_allocation,
+)
+from repro.allocation.greedy import greedy_allocation
+from repro.allocation.problem import AllocationProblem
+
+
+def make_problem(budget=200, mbs=8):
+    return AllocationProblem(
+        stage_names=["CO1", "AG1", "CO2", "AG2", "LC2", "GC2", "LC1", "GC1"],
+        times_ns=np.array([10., 80., 10., 80., 8., 60., 8., 60.]),
+        crossbars_per_replica=np.array([1, 4, 1, 4, 1, 4, 1, 4]),
+        budget=budget,
+        replica_caps=np.full(8, 32, dtype=np.int64),
+        num_microbatches=mbs,
+    )
+
+
+def test_serial_is_all_ones():
+    result = serial_allocation(make_problem())
+    np.testing.assert_array_equal(result.replicas, np.ones(8))
+
+
+def test_uniform_equal_replicas():
+    problem = make_problem(budget=100)
+    result = uniform_allocation(problem)
+    assert len(set(result.replicas.tolist())) == 1
+    assert problem.crossbar_cost(result.replicas) <= problem.budget
+    # Largest feasible: one more replica each would exceed the budget.
+    bumped = result.replicas + 1
+    if np.all(bumped <= problem.replica_caps):
+        assert problem.crossbar_cost(bumped) > problem.budget
+
+
+def test_uniform_respects_caps():
+    problem = make_problem(budget=10 ** 9)
+    result = uniform_allocation(problem)
+    np.testing.assert_array_equal(result.replicas, problem.replica_caps)
+
+
+def test_fixed_ratio_splits_one_to_two():
+    problem = make_problem(budget=300)
+    result = fixed_ratio_allocation(problem)
+    # Feature-family stages (AG/GC) share 2/3 of the budget.
+    weight_xbars = result.crossbars_used[[0, 2, 4, 6]].sum()
+    feature_xbars = result.crossbars_used[[1, 3, 5, 7]].sum()
+    assert feature_xbars > weight_xbars
+    assert problem.crossbar_cost(result.replicas) <= problem.budget
+
+
+def test_combination_only():
+    problem = make_problem(budget=300)
+    result = combination_only_allocation(problem)
+    # AG/GC stages stay at one copy.
+    np.testing.assert_array_equal(result.replicas[[1, 3, 5, 7]], 1)
+    assert np.all(result.replicas[[0, 2, 4, 6]] > 1)
+
+
+def test_exhaustive_beats_or_matches_greedy():
+    problem = make_problem(budget=120)
+    greedy = greedy_allocation(problem)
+    optimal = exhaustive_allocation(problem)
+    assert optimal.makespan_ns <= greedy.makespan_ns * 1.0001
+    assert problem.crossbar_cost(optimal.replicas) <= problem.budget
+
+
+def test_greedy_close_to_exhaustive():
+    # The paper's claim: the cheap greedy is nearly as good as the
+    # expensive DP-style optimiser.
+    problem = make_problem(budget=120)
+    greedy = greedy_allocation(problem)
+    optimal = exhaustive_allocation(problem)
+    assert greedy.makespan_ns <= 1.25 * optimal.makespan_ns
+
+
+def test_all_baselines_feasible_small_budget():
+    problem = make_problem(budget=3)
+    for fn in (serial_allocation, uniform_allocation,
+               fixed_ratio_allocation, combination_only_allocation,
+               exhaustive_allocation, greedy_allocation):
+        result = fn(problem)
+        assert problem.crossbar_cost(result.replicas) <= 3
+        assert np.all(result.replicas >= 1)
+
+
+def test_exhaustive_with_floors():
+    problem = AllocationProblem(
+        stage_names=["A", "B"],
+        times_ns=np.array([10.0, 50.0]),
+        crossbars_per_replica=np.array([1, 1]),
+        budget=20,
+        replica_caps=np.array([16, 16]),
+        num_microbatches=4,
+        fixed_floors_ns=np.array([0.0, 5.0]),
+    )
+    result = exhaustive_allocation(problem)
+    # The floor bounds the best possible makespan from below.
+    assert result.makespan_ns >= 5.0
+    assert problem.crossbar_cost(result.replicas) <= 20

@@ -1,0 +1,112 @@
+"""Algorithm 1's greedy allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation.greedy import greedy_allocation
+from repro.allocation.problem import AllocationProblem
+
+
+def make_problem(times, costs, budget, caps, mbs=4, floors=None):
+    return AllocationProblem(
+        stage_names=[f"S{i}" for i in range(len(times))],
+        times_ns=np.asarray(times, dtype=float),
+        crossbars_per_replica=np.asarray(costs, dtype=np.int64),
+        budget=budget,
+        replica_caps=np.asarray(caps, dtype=np.int64),
+        num_microbatches=mbs,
+        fixed_floors_ns=floors,
+    )
+
+
+def test_prefers_longest_stage():
+    # Stage 1 is 6x longer; with budget for a few replicas it must get more.
+    problem = make_problem([10.0, 60.0], [1, 1], budget=6, caps=[8, 8])
+    result = greedy_allocation(problem)
+    assert result.replicas[1] > result.replicas[0]
+
+
+def test_respects_budget_and_caps():
+    problem = make_problem([10.0, 60.0], [3, 5], budget=17, caps=[2, 3])
+    result = greedy_allocation(problem)
+    assert problem.crossbar_cost(result.replicas) <= 17
+    assert np.all(result.replicas <= problem.replica_caps)
+    assert np.all(result.replicas >= 1)
+
+
+def test_zero_budget_is_serial():
+    problem = make_problem([10.0, 60.0], [1, 1], budget=0, caps=[8, 8])
+    result = greedy_allocation(problem)
+    np.testing.assert_array_equal(result.replicas, [1, 1])
+
+
+def test_never_worse_than_serial():
+    problem = make_problem([5.0, 30.0, 12.0], [2, 4, 3], budget=40,
+                           caps=[16, 16, 16])
+    result = greedy_allocation(problem)
+    serial_makespan = problem.makespan_ns(np.ones(3, dtype=np.int64))
+    assert result.makespan_ns <= serial_makespan
+
+
+def test_accounts_for_crossbar_cost():
+    # Same time, but stage 1's replicas cost 10x: stage 0 should win the
+    # early budget.
+    problem = make_problem([50.0, 50.0], [1, 10], budget=9, caps=[16, 16])
+    result = greedy_allocation(problem)
+    assert result.replicas[0] > result.replicas[1]
+
+
+def test_fig5_example_allocation():
+    # Fig. 5: times 1 and 6, three free crossbars of cost 1; the best
+    # allocation gives all three to stage 2.
+    problem = make_problem([1.0, 6.0], [1, 1], budget=3, caps=[8, 8], mbs=8)
+    result = greedy_allocation(problem)
+    np.testing.assert_array_equal(result.replicas, [1, 4])
+
+
+def test_caps_saturate_with_huge_budget():
+    problem = make_problem([10.0, 60.0], [1, 2], budget=10 ** 6,
+                           caps=[4, 7])
+    result = greedy_allocation(problem)
+    np.testing.assert_array_equal(result.replicas, [4, 7])
+
+
+def test_unaffordable_stage_skipped():
+    # Stage 1 replicas cost more than the whole budget; stage 0 still gets
+    # replicas instead of deadlocking.
+    problem = make_problem([10.0, 100.0], [1, 50], budget=10,
+                           caps=[16, 16])
+    result = greedy_allocation(problem)
+    assert result.replicas[1] == 1
+    assert result.replicas[0] > 1
+
+
+def test_max_bonus_improves_or_matches():
+    problem = make_problem(
+        [10.0, 60.0, 20.0], [1, 3, 2], budget=30, caps=[32, 32, 32],
+        mbs=16,
+    )
+    with_bonus = greedy_allocation(problem, include_max_bonus=True)
+    without = greedy_allocation(problem, include_max_bonus=False)
+    assert with_bonus.makespan_ns <= without.makespan_ns * 1.0001
+
+
+@given(
+    times=st.lists(st.floats(1.0, 100.0), min_size=2, max_size=6),
+    budget=st.integers(0, 200),
+    seed=st.integers(0, 10),
+)
+@settings(max_examples=60, deadline=None)
+def test_greedy_feasibility_property(times, budget, seed):
+    rng = np.random.default_rng(seed)
+    n = len(times)
+    costs = rng.integers(1, 8, size=n)
+    caps = rng.integers(1, 20, size=n)
+    problem = make_problem(times, costs, budget, caps, mbs=int(rng.integers(1, 10)))
+    result = greedy_allocation(problem)
+    assert problem.crossbar_cost(result.replicas) <= budget
+    assert np.all(result.replicas >= 1)
+    assert np.all(result.replicas <= caps)
+    assert result.makespan_ns <= problem.makespan_ns(np.ones(n, dtype=np.int64)) + 1e-9

@@ -1,0 +1,75 @@
+"""AllocationProblem / AllocationResult: objective, budget accounting."""
+
+import numpy as np
+import pytest
+
+from repro.allocation.problem import AllocationProblem, AllocationResult
+from repro.errors import AllocationError
+
+
+def make_problem(budget=100, floors=None):
+    return AllocationProblem(
+        stage_names=["CO1", "AG1"],
+        times_ns=np.array([10.0, 60.0]),
+        crossbars_per_replica=np.array([1, 2]),
+        budget=budget,
+        replica_caps=np.array([4, 8]),
+        num_microbatches=3,
+        fixed_floors_ns=floors,
+    )
+
+
+def test_effective_times_and_makespan():
+    problem = make_problem()
+    replicas = np.array([2, 3])
+    times = problem.effective_times(replicas)
+    np.testing.assert_allclose(times, [5.0, 20.0])
+    assert problem.makespan_ns(replicas) == pytest.approx(25.0 + 2 * 20.0)
+
+
+def test_caps_limit_effective_times():
+    problem = make_problem()
+    times = problem.effective_times(np.array([100, 100]))
+    np.testing.assert_allclose(times, [10.0 / 4, 60.0 / 8])
+
+
+def test_floors_add_to_times():
+    problem = make_problem(floors=np.array([1.0, 2.0]))
+    times = problem.effective_times(np.array([1, 1]))
+    np.testing.assert_allclose(times, [11.0, 62.0])
+
+
+def test_crossbar_cost_excludes_mandatory_copy():
+    problem = make_problem()
+    assert problem.crossbar_cost(np.array([1, 1])) == 0
+    assert problem.crossbar_cost(np.array([3, 4])) == 2 * 1 + 3 * 2
+
+
+def test_result_budget_enforced():
+    problem = make_problem(budget=5)
+    AllocationResult(problem, np.array([2, 3]), "ok")  # cost 1+4=5
+    with pytest.raises(AllocationError):
+        AllocationResult(problem, np.array([3, 3]), "over")  # cost 6
+
+
+def test_result_summary_and_crossbars():
+    problem = make_problem()
+    result = AllocationResult(problem, np.array([2, 3]), "test")
+    np.testing.assert_array_equal(result.crossbars_used, [2, 6])
+    assert "CO1: R=2" in result.summary()
+    assert result.makespan_ns == pytest.approx(problem.makespan_ns([2, 3]))
+
+
+def test_validation():
+    with pytest.raises(AllocationError):
+        AllocationProblem(
+            ["a"], np.array([1.0, 2.0]), np.array([1]), 0,
+            np.array([1]), 1,
+        )
+    with pytest.raises(AllocationError):
+        make_problem(budget=-1)
+    problem = make_problem()
+    with pytest.raises(AllocationError):
+        problem.effective_times(np.array([0, 1]))
+    with pytest.raises(AllocationError):
+        problem.effective_times(np.array([1]))

@@ -1,0 +1,52 @@
+"""Shared fixtures: small deterministic graphs, workloads, configs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import dc_sbm_graph
+from repro.graphs.graph import Graph
+from repro.hardware.config import HardwareConfig
+from repro.stages.workload import Workload
+
+
+@pytest.fixture
+def tiny_graph() -> Graph:
+    """A hand-built 6-vertex graph with known degrees."""
+    edges = [(0, 1), (0, 2), (0, 3), (1, 2), (3, 4), (4, 5)]
+    features = np.arange(6 * 4, dtype=np.float32).reshape(6, 4)
+    labels = np.array([0, 0, 0, 1, 1, 1])
+    return Graph.from_edges(
+        6, edges, features=features, labels=labels, name="tiny",
+    )
+
+
+@pytest.fixture
+def small_graph() -> Graph:
+    """A 200-vertex DC-SBM graph with features and labels."""
+    return dc_sbm_graph(
+        num_vertices=200,
+        num_communities=4,
+        avg_degree=10.0,
+        random_state=7,
+        feature_dim=16,
+        name="small",
+    )
+
+
+@pytest.fixture
+def small_workload(small_graph) -> Workload:
+    """A 2-layer workload over the small graph."""
+    return Workload(
+        graph=small_graph,
+        layer_dims=[(16, 32), (32, 8)],
+        micro_batch=32,
+        name="small",
+    )
+
+
+@pytest.fixture
+def small_config() -> HardwareConfig:
+    """Hardware config with a budget small enough to bind allocation."""
+    return HardwareConfig().scaled(array_capacity_bytes=4 * 1024 ** 2)

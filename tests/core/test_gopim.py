@@ -1,0 +1,64 @@
+"""GoPIMSystem facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.gopim import GoPIMSystem
+from repro.errors import GoPIMError
+from repro.predictor.dataset import generate_dataset
+from repro.predictor.predictor import PerKindRegressor, TimePredictor
+from repro.predictor.regressors import LinearRegressor
+
+
+@pytest.fixture(scope="module")
+def fast_predictor():
+    ds = generate_dataset(num_samples=300, random_state=0)
+    return TimePredictor(PerKindRegressor(LinearRegressor)).fit(ds)
+
+
+@pytest.fixture
+def system(fast_predictor, small_config):
+    return GoPIMSystem(config=small_config, predictor=fast_predictor)
+
+
+def test_plan_structure(system, small_workload):
+    plan = system.plan(small_workload)
+    assert set(plan.predicted_times_ns) == {
+        s.name for s in small_workload.stage_chain()
+    }
+    assert plan.replicas.shape == (small_workload.num_stages,)
+    assert np.any(plan.replicas > 1)
+    assert plan.update_plan.mapping.strategy == "interleaved"
+    assert 0 < plan.theta <= 1.0
+
+
+def test_adaptive_theta_in_plan(system, small_workload):
+    plan = system.plan(small_workload)
+    # small_graph has average degree ~10 -> dense -> theta 0.5.
+    assert plan.theta == 0.5
+
+
+def test_theta_override(fast_predictor, small_config, small_workload):
+    system = GoPIMSystem(
+        config=small_config, predictor=fast_predictor, theta=0.75,
+    )
+    assert system.plan(small_workload).theta == 0.75
+
+
+def test_simulate(system, small_workload):
+    report = system.simulate(small_workload)
+    assert report.accelerator == "GoPIM"
+    assert report.total_time_ns > 0
+
+
+def test_train(system, small_graph):
+    result = system.train(small_graph, task="node", epochs=5)
+    assert len(result.test_metrics) == 5
+
+
+def test_unfitted_predictor_rejected(small_config):
+    system = GoPIMSystem(
+        config=small_config, predictor=TimePredictor(),
+    )
+    with pytest.raises(GoPIMError):
+        _ = system.predictor

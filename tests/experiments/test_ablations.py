@@ -1,0 +1,50 @@
+"""Ablation experiments: allocator quality/time, ISU design choices."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import abl_allocator, abl_isu_design
+
+
+def test_allocator_quality_order():
+    result = abl_allocator.run(datasets=("ddi",), scale=0.5)
+    rows = {r["policy"]: r for r in result.rows}
+    greedy = rows["greedy (Algorithm 1)"]
+    optimal = rows["exhaustive (DP stand-in)"]
+    serial = rows["serial"]
+    # Greedy near-optimal; both far better than serial / CO-only.
+    assert greedy["makespan (us)"] <= 1.25 * optimal["makespan (us)"]
+    assert greedy["speedup vs serial"] > 5.0
+    assert rows["CO-only (ReFlip)"]["speedup vs serial"] < greedy["speedup vs serial"]
+    assert serial["speedup vs serial"] == pytest.approx(1.0)
+
+
+def test_allocator_decision_time_gap():
+    result = abl_allocator.run(datasets=("ddi",), scale=0.5)
+    rows = {r["policy"]: r for r in result.rows}
+    # The paper's overhead story: greedy decides much faster than the
+    # DP-style optimiser.
+    assert (rows["greedy (Algorithm 1)"]["decision time (ms)"]
+            < rows["exhaustive (DP stand-in)"]["decision time (ms)"])
+
+
+def test_minor_period_tradeoff():
+    result = abl_isu_design.minor_period_sweep(scale=0.5)
+    cycles = result.column("avg write cycles")
+    rows_written = result.column("rows written / epoch")
+    # Longer periods strictly reduce both write metrics.
+    assert all(a >= b for a, b in zip(cycles, cycles[1:]))
+    assert all(a >= b for a, b in zip(rows_written, rows_written[1:]))
+
+
+def test_scope_count_improves_balance():
+    result = abl_isu_design.scope_count_sweep(scale=0.5)
+    by_k = {r["scopes K"]: r for r in result.rows}
+    # Full stratification (K = 64) beats random dealing (K = 1).
+    assert by_k[64]["per-crossbar degree std"] < by_k[1]["per-crossbar degree std"]
+
+
+def test_write_pulse_gap_grows():
+    result = abl_isu_design.write_pulse_sweep(pulses=(1, 8), scale=0.5)
+    gains = result.column("ISU gain")
+    assert gains[1] > gains[0] > 1.0

@@ -1,0 +1,74 @@
+"""ExperimentResult rendering and registry plumbing."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.harness import ExperimentResult, combine_markdown
+
+
+def make_result():
+    return ExperimentResult(
+        experiment_id="figX",
+        title="Demo",
+        rows=[
+            {"dataset": "ddi", "speedup": 12.345},
+            {"dataset": "ppa", "speedup": 1.0, "extra": "note"},
+        ],
+        notes="A note.",
+    )
+
+
+def test_columns_first_seen_order():
+    result = make_result()
+    assert result.columns == ["dataset", "speedup", "extra"]
+
+
+def test_column_access():
+    result = make_result()
+    assert result.column("dataset") == ["ddi", "ppa"]
+    assert result.column("extra") == [None, "note"]
+    with pytest.raises(ExperimentError):
+        result.column("missing")
+
+
+def test_markdown_rendering():
+    md = make_result().to_markdown()
+    assert "| dataset | speedup | extra |" in md
+    assert "| ddi | 12.3 |  |" in md
+    assert md.startswith("## Demo (figX)")
+    assert "A note." in md
+
+
+def test_markdown_empty():
+    result = ExperimentResult(experiment_id="e", title="Empty")
+    assert "(no rows)" in result.to_markdown()
+
+
+def test_empty_id_rejected():
+    with pytest.raises(ExperimentError):
+        ExperimentResult(experiment_id="", title="x")
+
+
+def test_combine_markdown():
+    combined = combine_markdown([make_result(), make_result()])
+    assert combined.count("## Demo") == 2
+
+
+def test_registry_contains_all_experiments():
+    from repro.experiments.registry import REGISTRY
+
+    expected = {"fig04", "fig05", "fig06", "fig07", "fig09", "fig13",
+                "fig14", "fig15", "fig16", "fig17", "tab05", "tab06",
+                "tab07", "abl-allocator", "abl-isu", "abl-tta",
+                "abl-variation", "abl-crossbar-size", "abl-features",
+                "abl-motivation", "abl-endurance", "abl-samples",
+                "abl-quantization", "abl-scheduler", "abl-weight-staleness",
+                "abl-model-family"}
+    assert expected == set(REGISTRY)
+
+
+def test_run_experiment_unknown_id():
+    from repro.experiments.registry import run_experiment
+
+    with pytest.raises(ExperimentError):
+        run_experiment("fig99")

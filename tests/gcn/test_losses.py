@@ -1,0 +1,107 @@
+"""Losses and metrics, with finite-difference gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.gcn.losses import (
+    accuracy,
+    cross_entropy_loss,
+    link_accuracy,
+    link_bce_loss,
+    link_logits,
+    sigmoid,
+    softmax,
+)
+
+
+def test_softmax_rows_sum_to_one():
+    logits = np.random.default_rng(0).normal(size=(5, 4)) * 50
+    probs = softmax(logits)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-6)
+    assert np.all(probs >= 0)
+
+
+def test_cross_entropy_perfect_prediction():
+    logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+    labels = np.array([0, 1])
+    loss, grad = cross_entropy_loss(logits, labels)
+    assert loss < 1e-6
+    np.testing.assert_allclose(grad, 0.0, atol=1e-6)
+
+
+def test_cross_entropy_gradient_finite_difference():
+    rng = np.random.default_rng(1)
+    logits = rng.normal(size=(4, 3))
+    labels = np.array([0, 2, 1, 1])
+    _, grad = cross_entropy_loss(logits, labels)
+    eps = 1e-5
+    for i in range(4):
+        for j in range(3):
+            bumped = logits.copy()
+            bumped[i, j] += eps
+            up, _ = cross_entropy_loss(bumped, labels)
+            bumped[i, j] -= 2 * eps
+            down, _ = cross_entropy_loss(bumped, labels)
+            numeric = (up - down) / (2 * eps)
+            assert grad[i, j] == pytest.approx(numeric, abs=1e-4)
+
+
+def test_cross_entropy_validation():
+    with pytest.raises(TrainingError):
+        cross_entropy_loss(np.zeros((2, 3)), np.array([0, 5]))
+    with pytest.raises(TrainingError):
+        cross_entropy_loss(np.zeros((0, 3)), np.zeros(0, dtype=int))
+
+
+def test_accuracy():
+    logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+    assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+    with pytest.raises(TrainingError):
+        accuracy(np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+
+def test_sigmoid_stability():
+    x = np.array([-1000.0, 0.0, 1000.0])
+    out = sigmoid(x)
+    np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-9)
+
+
+def test_link_logits():
+    emb = np.array([[1.0, 0.0], [0.0, 2.0], [3.0, 1.0]])
+    edges = np.array([[0, 2], [1, 2]])
+    np.testing.assert_allclose(link_logits(emb, edges), [3.0, 2.0])
+    with pytest.raises(TrainingError):
+        link_logits(emb, np.array([0, 1]))
+
+
+def test_link_bce_gradient_finite_difference():
+    rng = np.random.default_rng(2)
+    emb = rng.normal(size=(5, 3)).astype(np.float64)
+    pos = np.array([[0, 1], [2, 3]])
+    neg = np.array([[0, 4], [1, 3]])
+    _, grad = link_bce_loss(emb, pos, neg)
+    eps = 1e-5
+    for i in range(5):
+        for j in range(3):
+            bumped = emb.copy()
+            bumped[i, j] += eps
+            up, _ = link_bce_loss(bumped, pos, neg)
+            bumped[i, j] -= 2 * eps
+            down, _ = link_bce_loss(bumped, pos, neg)
+            numeric = (up - down) / (2 * eps)
+            assert grad[i, j] == pytest.approx(numeric, abs=1e-3)
+
+
+def test_link_bce_validation():
+    with pytest.raises(TrainingError):
+        link_bce_loss(np.zeros((3, 2)), np.zeros((0, 2)), np.zeros((0, 2)))
+
+
+def test_link_accuracy_perfect():
+    emb = np.array([[10.0, 0.0], [10.0, 0.0], [-10.0, 0.0]])
+    pos = np.array([[0, 1]])   # score 100 > 0
+    neg = np.array([[0, 2]])   # score -100 <= 0
+    assert link_accuracy(emb, pos, neg) == 1.0
+    with pytest.raises(TrainingError):
+        link_accuracy(emb, np.zeros((0, 2), dtype=int), np.zeros((0, 2), dtype=int))

@@ -1,0 +1,58 @@
+"""Optimisers: SGD and Adam converge on a quadratic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.gcn.optim import SGD, Adam
+
+
+def quadratic_grad(params):
+    # f(w) = ||w - 3||^2 -> grad = 2 (w - 3).
+    return {"w": 2.0 * (params["w"] - 3.0)}
+
+
+@pytest.mark.parametrize("optimizer", [
+    SGD(learning_rate=0.1),
+    SGD(learning_rate=0.05, momentum=0.9),
+    Adam(learning_rate=0.3),
+])
+def test_converges_to_minimum(optimizer):
+    params = {"w": np.array([0.0, 10.0])}
+    for _ in range(200):
+        optimizer.step(params, quadratic_grad(params))
+    np.testing.assert_allclose(params["w"], [3.0, 3.0], atol=0.05)
+
+
+def test_updates_in_place():
+    params = {"w": np.zeros(2)}
+    ref = params["w"]
+    Adam(learning_rate=0.1).step(params, {"w": np.ones(2)})
+    assert params["w"] is ref
+    assert not np.allclose(ref, 0.0)
+
+
+def test_unknown_gradient_key_raises():
+    with pytest.raises(TrainingError):
+        SGD().step({"w": np.zeros(2)}, {"v": np.zeros(2)})
+    with pytest.raises(TrainingError):
+        Adam().step({"w": np.zeros(2)}, {"v": np.zeros(2)})
+
+
+def test_hyperparameter_validation():
+    with pytest.raises(TrainingError):
+        SGD(learning_rate=0.0)
+    with pytest.raises(TrainingError):
+        SGD(momentum=1.0)
+    with pytest.raises(TrainingError):
+        Adam(learning_rate=-1.0)
+    with pytest.raises(TrainingError):
+        Adam(beta1=1.0)
+
+
+def test_adam_bias_correction_first_step():
+    # After one step from zero moments, Adam moves by ~lr regardless of
+    # gradient scale.
+    params = {"w": np.array([0.0])}
+    Adam(learning_rate=0.1).step(params, {"w": np.array([1e-4])})
+    assert abs(params["w"][0] + 0.1) < 0.01

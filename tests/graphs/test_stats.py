@@ -1,0 +1,71 @@
+"""Graph statistics module."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.datasets import load_dataset
+from repro.graphs.generators import dc_sbm_graph, erdos_renyi_graph
+from repro.graphs.graph import Graph
+from repro.graphs.stats import (
+    compute_stats,
+    degree_gini,
+    homophily,
+    powerlaw_alpha_mle,
+)
+
+
+def test_compute_stats_fields(small_graph):
+    stats = compute_stats(small_graph)
+    assert stats.num_vertices == small_graph.num_vertices
+    assert stats.num_edges == small_graph.num_edges
+    assert stats.degree_p50 <= stats.degree_p90 <= stats.degree_p99
+    assert stats.max_degree == small_graph.degrees.max()
+    assert 0.0 <= stats.degree_gini <= 1.0
+    d = stats.as_dict()
+    assert d["average_degree"] == pytest.approx(small_graph.average_degree)
+
+
+def test_powerlaw_alpha_reasonable():
+    g = dc_sbm_graph(2000, 4, 16.0, random_state=0, powerlaw_exponent=2.5)
+    alpha = powerlaw_alpha_mle(g.degrees, d_min=8)
+    assert alpha is not None
+    assert 1.5 < alpha < 6.0
+
+
+def test_powerlaw_alpha_none_for_tiny():
+    degrees = np.array([1, 1, 2])
+    assert powerlaw_alpha_mle(degrees, d_min=2) is None
+    with pytest.raises(GraphError):
+        powerlaw_alpha_mle(degrees, d_min=0)
+
+
+def test_gini_flat_vs_skewed():
+    flat = erdos_renyi_graph(500, 10.0, random_state=0)
+    skewed = dc_sbm_graph(500, 2, 10.0, random_state=0,
+                          powerlaw_exponent=2.0)
+    assert degree_gini(skewed.degrees) > degree_gini(flat.degrees)
+    assert degree_gini(np.array([], dtype=np.int64)) == 0.0
+    assert degree_gini(np.zeros(5, dtype=np.int64)) == 0.0
+
+
+def test_homophily_labelled_and_not(small_graph):
+    value = homophily(small_graph)
+    assert value is not None and 0.0 <= value <= 1.0
+    unlabelled = Graph.from_edges(4, [(0, 1)])
+    assert homophily(unlabelled) is None
+    no_edges = Graph.from_edges(3, [], labels=np.zeros(3, dtype=np.int64))
+    assert homophily(no_edges) is None
+
+
+def test_paper_datasets_have_community_structure():
+    g = load_dataset("arxiv", random_state=0)
+    stats = compute_stats(g)
+    # Intra ratio 0.55 -> homophily clearly above the 1/16 random chance.
+    assert stats.homophily > 0.3
+    assert stats.degree_gini > 0.2  # heavy-tailed
+
+
+def test_empty_graph_rejected():
+    with pytest.raises(GraphError):
+        compute_stats(Graph(np.array([0]), np.array([], dtype=np.int64)))

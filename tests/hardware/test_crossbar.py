@@ -1,0 +1,151 @@
+"""Crossbar functional + cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import MappingError
+from repro.hardware.config import DEFAULT_CONFIG
+from repro.hardware.crossbar import Crossbar, CrossbarStats, quantize_symmetric
+
+
+def test_program_and_mvm_exact():
+    xb = Crossbar()
+    matrix = np.arange(12, dtype=np.float32).reshape(4, 3)
+    latency = xb.program(matrix)
+    assert latency == pytest.approx(4 * DEFAULT_CONFIG.row_write_latency_ns)
+    vec = np.array([1.0, 0.0, 2.0, 0.0])
+    out = xb.mvm(vec)
+    expected = vec @ matrix
+    np.testing.assert_allclose(out[:3], expected)
+    np.testing.assert_allclose(out[3:], 0.0)
+
+
+def test_mvm_pads_short_input():
+    xb = Crossbar()
+    xb.program(np.eye(4, dtype=np.float32))
+    out = xb.mvm([5.0, 6.0])
+    assert out[0] == 5.0 and out[1] == 6.0
+
+
+def test_mvm_batch_matches_loop():
+    xb = Crossbar()
+    rng = np.random.default_rng(0)
+    matrix = rng.normal(size=(8, 5)).astype(np.float32)
+    xb.program(matrix)
+    inputs = rng.normal(size=(6, 8)).astype(np.float32)
+    batch = xb.mvm_batch(inputs)
+    for i, row in enumerate(inputs):
+        np.testing.assert_allclose(batch[i], xb.mvm(row), rtol=1e-5)
+
+
+def test_stats_accounting():
+    xb = Crossbar()
+    xb.program(np.ones((3, 2), dtype=np.float32))
+    xb.mvm(np.ones(3))
+    xb.mvm_batch(np.ones((5, 3)))
+    assert xb.stats.row_writes == 3
+    assert xb.stats.mvm_reads == 6
+    expected_busy = (
+        3 * DEFAULT_CONFIG.row_write_latency_ns
+        + 6 * DEFAULT_CONFIG.mvm_latency_ns
+    )
+    assert xb.stats.busy_ns == pytest.approx(expected_busy)
+
+
+def test_write_rows_partial_update():
+    xb = Crossbar()
+    xb.program(np.ones((4, 2), dtype=np.float32))
+    xb.write_rows(np.array([1]), np.array([[9.0, 9.0]], dtype=np.float32))
+    assert xb.values[1, 0] == 9.0
+    assert xb.values[0, 0] == 1.0
+
+
+def test_size_violations():
+    xb = Crossbar()
+    with pytest.raises(MappingError):
+        xb.program(np.ones((65, 2)))
+    with pytest.raises(MappingError):
+        xb.program(np.ones((2, 33)))
+    with pytest.raises(MappingError):
+        xb.mvm(np.ones(65))
+    with pytest.raises(MappingError):
+        xb.write_rows(np.array([64]), np.ones((1, 2)))
+
+
+def test_reset():
+    xb = Crossbar()
+    xb.program(np.ones((2, 2), dtype=np.float32))
+    xb.reset()
+    assert xb.stats.row_writes == 0
+    assert np.all(xb.values == 0.0)
+
+
+def test_stats_merge_and_copy():
+    a = CrossbarStats(mvm_reads=2, row_writes=3, busy_ns=10.0)
+    b = CrossbarStats(mvm_reads=1, row_writes=1, busy_ns=5.0)
+    a.merge(b)
+    assert (a.mvm_reads, a.row_writes, a.busy_ns) == (3, 4, 15.0)
+    c = a.copy()
+    c.mvm_reads = 99
+    assert a.mvm_reads == 3
+
+
+def test_quantize_symmetric_zero_and_error_bound():
+    zeros = np.zeros(5, dtype=np.float32)
+    np.testing.assert_array_equal(quantize_symmetric(zeros, 8), zeros)
+    with pytest.raises(MappingError):
+        quantize_symmetric(zeros, 0)
+
+
+@given(arrays(np.float32, (4, 4),
+              elements=st.floats(-100, 100, width=32)))
+@settings(max_examples=50, deadline=None)
+def test_quantization_error_bounded(matrix):
+    bits = 8
+    quantised = quantize_symmetric(matrix, bits)
+    max_abs = float(np.max(np.abs(matrix)))
+    if max_abs > 0:
+        step = max_abs / (2 ** (bits - 1) - 1)
+        assert np.max(np.abs(quantised - matrix)) <= step / 2 + 1e-4
+
+
+def test_quantized_crossbar_close_to_exact():
+    cfg = DEFAULT_CONFIG.scaled(weight_bits=8)
+    exact = Crossbar(cfg)
+    quant = Crossbar(cfg, quantize=True)
+    rng = np.random.default_rng(3)
+    matrix = rng.normal(size=(16, 8)).astype(np.float32)
+    exact.program(matrix)
+    quant.program(matrix)
+    vec = rng.normal(size=16).astype(np.float32)
+    np.testing.assert_allclose(
+        quant.mvm(vec)[:8], exact.mvm(vec)[:8], rtol=0.05, atol=0.5,
+    )
+
+
+def test_read_noise_validation_and_determinism():
+    with pytest.raises(MappingError):
+        Crossbar(read_noise_sigma=-0.1)
+    a = Crossbar(read_noise_sigma=0.05, random_state=7)
+    b = Crossbar(read_noise_sigma=0.05, random_state=7)
+    matrix = np.ones((4, 4), dtype=np.float32)
+    a.program(matrix)
+    b.program(matrix)
+    vec = np.ones(4, dtype=np.float32)
+    np.testing.assert_allclose(a.mvm(vec), b.mvm(vec))
+
+
+def test_read_noise_perturbs_but_tracks():
+    clean = Crossbar()
+    noisy = Crossbar(read_noise_sigma=0.02, random_state=0)
+    matrix = np.random.default_rng(0).normal(size=(8, 8)).astype(np.float32)
+    clean.program(matrix)
+    noisy.program(matrix)
+    vec = np.ones(8, dtype=np.float32)
+    exact = clean.mvm(vec)
+    out = noisy.mvm(vec)
+    assert not np.allclose(out, exact)
+    np.testing.assert_allclose(out, exact, rtol=0.2, atol=1e-3)

@@ -1,0 +1,87 @@
+"""Energy model: per-category attribution, merging, area report."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.config import DEFAULT_CONFIG
+from repro.hardware.crossbar import CrossbarStats
+from repro.hardware.energy import EnergyBreakdown, EnergyModel, area_report
+
+
+def test_breakdown_total_and_merge():
+    a = EnergyBreakdown(crossbar_read_pj=1.0, peripheral_pj=2.0)
+    b = EnergyBreakdown(crossbar_write_pj=3.0, static_pj=4.0)
+    a.merge(b)
+    assert a.total_pj == pytest.approx(10.0)
+    d = a.as_dict()
+    assert d["total_pj"] == pytest.approx(10.0)
+    assert d["crossbar_write_pj"] == 3.0
+
+
+def test_crossbar_activity_energy_scaling():
+    model = EnergyModel()
+    stats = CrossbarStats(mvm_reads=10, row_writes=5, busy_ns=100.0)
+    one = model.crossbar_activity_energy(stats, crossbars_active=1)
+    two = model.crossbar_activity_energy(stats, crossbars_active=2)
+    # Reads and peripherals scale with active crossbars; writes are counted
+    # as row events and do not.
+    assert two.crossbar_read_pj == pytest.approx(2 * one.crossbar_read_pj)
+    assert two.peripheral_pj == pytest.approx(2 * one.peripheral_pj)
+    assert two.crossbar_write_pj == pytest.approx(one.crossbar_write_pj)
+
+
+def test_write_energy_per_row():
+    model = EnergyModel()
+    stats = CrossbarStats(row_writes=7)
+    out = model.crossbar_activity_energy(stats)
+    assert out.crossbar_write_pj == pytest.approx(
+        7 * DEFAULT_CONFIG.crossbar_write_energy_pj,
+    )
+
+
+def test_idle_energy_proportional():
+    model = EnergyModel()
+    one = model.idle_energy(1000.0)
+    two = model.idle_energy(2000.0)
+    assert two.idle_leakage_pj == pytest.approx(2 * one.idle_leakage_pj)
+    assert one.idle_leakage_pj > 0
+    with pytest.raises(ConfigError):
+        model.idle_energy(-1.0)
+
+
+def test_traffic_energies():
+    model = EnergyModel()
+    assert model.buffer_energy(100.0).buffer_pj == pytest.approx(
+        100.0 * DEFAULT_CONFIG.buffer_access_energy_pj_per_byte,
+    )
+    assert model.offchip_energy(100.0).offchip_pj == pytest.approx(
+        100.0 * DEFAULT_CONFIG.offchip_access_energy_pj_per_byte,
+    )
+    with pytest.raises(ConfigError):
+        model.buffer_energy(-1.0)
+
+
+def test_static_energy_uses_chip_components():
+    model = EnergyModel()
+    out = model.static_energy(1000.0)
+    expected_power = (
+        DEFAULT_CONFIG.components["central_controller"].total_power_mw
+        + DEFAULT_CONFIG.components["weight_computer"].total_power_mw
+        + DEFAULT_CONFIG.components["activation_module"].total_power_mw
+    )
+    assert out.static_pj == pytest.approx(1000.0 * expected_power)
+
+
+def test_negative_inputs_rejected():
+    model = EnergyModel()
+    with pytest.raises(ConfigError):
+        model.crossbar_activity_energy(CrossbarStats(), crossbars_active=-1)
+    with pytest.raises(ConfigError):
+        model.static_energy(-5.0)
+
+
+def test_area_report_structure():
+    report = area_report()
+    assert report["pe_mm2"] > 0
+    assert report["tile_mm2"] > report["pe_mm2"]
+    assert report["chip_overhead_mm2"] > 0

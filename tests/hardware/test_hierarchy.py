@@ -1,0 +1,77 @@
+"""Chip/pool resource accounting."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.hardware.config import DEFAULT_CONFIG
+from repro.hardware.hierarchy import Chip, CrossbarPool, ProcessingElement, Tile
+
+
+def test_structure_counts():
+    pe = ProcessingElement(DEFAULT_CONFIG)
+    tile = Tile(DEFAULT_CONFIG)
+    assert pe.num_crossbars == 32
+    assert tile.num_pes == 8
+    assert tile.num_crossbars == 256
+
+
+def test_pool_size_and_validation():
+    pool = CrossbarPool("AG1", crossbars_per_replica=128, replicas=3)
+    assert pool.size == 384
+    with pytest.raises(AllocationError):
+        CrossbarPool("x", 0)
+    with pytest.raises(AllocationError):
+        CrossbarPool("x", 1, replicas=0)
+
+
+def test_pool_idle_fraction():
+    pool = CrossbarPool("CO1", 32)
+    pool.stats.busy_ns = 25.0
+    assert pool.busy_fraction(100.0) == pytest.approx(0.25)
+    assert pool.idle_fraction(100.0) == pytest.approx(0.75)
+    assert pool.idle_fraction(0.0) == 1.0
+    pool.stats.busy_ns = 500.0  # clamped
+    assert pool.busy_fraction(100.0) == 1.0
+
+
+def test_chip_reserve_and_budget(small_config):
+    chip = Chip(small_config)
+    total = chip.total_crossbars
+    pool = chip.reserve("AG1", crossbars_per_replica=64, replicas=2)
+    assert chip.reserved_crossbars == 128
+    assert chip.free_crossbars == total - 128
+    assert chip.utilization() == pytest.approx(128 / total)
+    assert chip.pools["AG1"] is pool
+
+
+def test_chip_over_reserve_rejected(small_config):
+    chip = Chip(small_config)
+    with pytest.raises(AllocationError):
+        chip.reserve("huge", chip.total_crossbars + 1)
+    with pytest.raises(AllocationError):
+        chip.reserve("a", 10)
+        chip.reserve("a", 10)  # duplicate name
+
+
+def test_grow_replicas(small_config):
+    chip = Chip(small_config)
+    chip.reserve("AG1", 10, replicas=1)
+    chip.grow_replicas("AG1", 2)
+    assert chip.pools["AG1"].replicas == 3
+    assert chip.reserved_crossbars == 30
+    with pytest.raises(AllocationError):
+        chip.grow_replicas("AG1", chip.total_crossbars)
+    with pytest.raises(AllocationError):
+        chip.grow_replicas("missing", 1)
+
+
+def test_release(small_config):
+    chip = Chip(small_config)
+    chip.reserve("a", 10)
+    chip.reserve("b", 20)
+    chip.release("a")
+    assert chip.reserved_crossbars == 20
+    chip.release_all()
+    assert chip.reserved_crossbars == 0
+    with pytest.raises(AllocationError):
+        chip.release("a")

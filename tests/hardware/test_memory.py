@@ -1,0 +1,39 @@
+"""Global buffer and off-chip channel."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.memory import GlobalBuffer, OffChipMemory, TrafficRecord
+
+
+def test_buffer_staging_chunks():
+    buf = GlobalBuffer(capacity_bytes=1024)
+    assert buf.stage(100) == 1
+    assert buf.stage(1024) == 1
+    assert buf.stage(1025) == 2
+    assert buf.traffic.buffer_bytes == pytest.approx(100 + 1024 + 1025)
+    with pytest.raises(ConfigError):
+        buf.stage(-1)
+    with pytest.raises(ConfigError):
+        GlobalBuffer(capacity_bytes=0)
+
+
+def test_default_buffer_is_128kb():
+    assert GlobalBuffer().capacity_bytes == 128 * 1024
+
+
+def test_offchip_latency_and_traffic():
+    mem = OffChipMemory()
+    # 64 GB/s == 64 bytes/ns.
+    assert mem.transfer_latency_ns(64.0) == pytest.approx(1.0)
+    latency = mem.transfer(6400.0)
+    assert latency == pytest.approx(100.0)
+    assert mem.traffic.offchip_bytes == pytest.approx(6400.0)
+    with pytest.raises(ConfigError):
+        mem.transfer(-1.0)
+
+
+def test_traffic_record_merge():
+    a = TrafficRecord(buffer_bytes=10, offchip_bytes=20)
+    a.merge(TrafficRecord(buffer_bytes=1, offchip_bytes=2))
+    assert a.buffer_bytes == 11 and a.offchip_bytes == 22

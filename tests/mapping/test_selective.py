@@ -1,0 +1,94 @@
+"""Selective updating: OSU vs ISU write cycles, adaptive theta, schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingError
+from repro.graphs.datasets import load_dataset
+from repro.mapping.selective import (
+    DENSE_THETA,
+    SPARSE_THETA,
+    UpdatePlan,
+    adaptive_theta,
+    build_update_plan,
+)
+
+
+def test_adaptive_theta_matches_paper(small_graph, tiny_graph):
+    # small_graph avg degree ~10 (dense); tiny avg 2 (sparse).
+    assert adaptive_theta(small_graph) == DENSE_THETA
+    assert adaptive_theta(tiny_graph) == SPARSE_THETA
+
+
+def test_full_plan_updates_everyone(small_graph):
+    plan = build_update_plan(small_graph, "full")
+    assert plan.theta == 1.0
+    assert plan.num_important == small_graph.num_vertices
+    np.testing.assert_array_equal(
+        plan.vertices_updated_at(3), np.arange(small_graph.num_vertices),
+    )
+
+
+def test_selective_schedule(small_graph):
+    plan = build_update_plan(small_graph, "isu", theta=0.25, minor_period=10)
+    assert plan.num_important == round(0.25 * small_graph.num_vertices)
+    assert plan.is_update_epoch_for_minor(0)
+    assert not plan.is_update_epoch_for_minor(1)
+    assert plan.is_update_epoch_for_minor(10)
+    assert plan.vertices_updated_at(0).size == small_graph.num_vertices
+    assert plan.vertices_updated_at(5).size == plan.num_important
+
+
+def test_important_are_top_degree(small_graph):
+    plan = build_update_plan(small_graph, "isu", theta=0.2)
+    threshold = np.sort(small_graph.degrees)[::-1][plan.num_important - 1]
+    assert small_graph.degrees[plan.important].min() >= threshold
+
+
+def test_isu_reduces_write_cycles_osu_does_not():
+    # The Fig. 7 mechanism at dataset scale: high-degree vertices crowd
+    # low-index crossbars, so OSU's busiest crossbar stays full while
+    # ISU's shrinks by ~theta.
+    graph = load_dataset("ddi", random_state=0)
+    full = build_update_plan(graph, "full")
+    osu = build_update_plan(graph, "osu", theta=0.5)
+    isu = build_update_plan(graph, "isu", theta=0.5)
+    full_cycles = full.average_write_cycles()
+    assert osu.average_write_cycles() > 0.9 * full_cycles
+    assert isu.average_write_cycles() < 0.7 * full_cycles
+
+
+def test_write_cycles_at_full_round(small_graph):
+    plan = build_update_plan(small_graph, "isu", theta=0.5)
+    full_round = plan.write_cycles_at(0)
+    partial = plan.write_cycles_at(1)
+    assert partial <= full_round
+
+
+def test_rows_written_per_epoch(small_graph):
+    n = small_graph.num_vertices
+    plan = build_update_plan(small_graph, "isu", theta=0.5, minor_period=20)
+    k = plan.num_important
+    expected = (n + 19 * k) / 20
+    assert plan.rows_written_per_epoch() == pytest.approx(expected)
+
+
+def test_build_plan_validation(small_graph):
+    with pytest.raises(MappingError):
+        build_update_plan(small_graph, "bogus")
+    with pytest.raises(MappingError):
+        build_update_plan(small_graph, "isu", theta=2.0)
+    with pytest.raises(MappingError):
+        build_update_plan(small_graph, "isu", minor_period=0)
+
+
+def test_full_strategy_overrides_selective(small_graph):
+    plan = build_update_plan(small_graph, "full", theta=0.1)
+    assert plan.theta == 1.0
+
+
+def test_plan_mapping_consistency(small_graph):
+    isu = build_update_plan(small_graph, "isu")
+    assert isu.mapping.strategy == "interleaved"
+    osu = build_update_plan(small_graph, "osu")
+    assert osu.mapping.strategy == "index"

@@ -1,0 +1,59 @@
+"""Pipeline trace rendering and utilisation reports."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.pipeline.simulator import ScheduleMode, simulate_pipeline
+from repro.pipeline.trace import (
+    bottleneck_stage,
+    render_gantt,
+    utilization_report,
+)
+
+
+@pytest.fixture
+def result():
+    times = np.array([[1.0, 1.0, 1.0], [4.0, 4.0, 4.0]])
+    return simulate_pipeline(times, ScheduleMode.INTRA_INTER)
+
+
+def test_render_gantt_structure(result):
+    chart = render_gantt(result, stage_names=["CO1", "AG1"], width=26)
+    lines = chart.splitlines()
+    assert lines[0].startswith("CO1")
+    assert lines[1].startswith("AG1")
+    # Stage 2 is the bottleneck: its row is mostly busy glyphs.
+    ag_row = lines[1].split("|")[1]
+    assert ag_row.count(".") < len(ag_row) / 3
+    # Micro-batch glyphs 0, 1, 2 all appear.
+    assert {"0", "1", "2"} <= set(lines[0] + lines[1])
+
+
+def test_render_gantt_validation(result):
+    with pytest.raises(PipelineError):
+        render_gantt(result, stage_names=["only-one"])
+    with pytest.raises(PipelineError):
+        render_gantt(result, width=2)
+
+
+def test_utilization_report(result):
+    rows = utilization_report(result, ["CO1", "AG1"])
+    assert [r["stage"] for r in rows] == ["CO1", "AG1"]
+    total = result.total_time_ns
+    assert rows[0]["busy_ns"] == pytest.approx(3.0)
+    assert rows[0]["busy_fraction"] == pytest.approx(3.0 / total)
+    for row in rows:
+        assert row["busy_fraction"] + row["idle_fraction"] == pytest.approx(1.0)
+
+
+def test_bottleneck_stage(result):
+    assert bottleneck_stage(result, ["CO1", "AG1"]) == "AG1"
+    assert bottleneck_stage(result) == "S1"
+
+
+def test_name_length_checked(result):
+    with pytest.raises(PipelineError):
+        utilization_report(result, ["a", "b", "c"])
+    with pytest.raises(PipelineError):
+        bottleneck_stage(result, ["a"])

@@ -1,0 +1,65 @@
+"""From-scratch MLP regressor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictorError
+from repro.predictor.mlp import MLPRegressor
+from repro.predictor.regressors import LinearRegressor
+
+
+def test_fits_nonlinear_function():
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-2, 2, size=(400, 2))
+    y = np.sin(x[:, 0]) * np.cos(x[:, 1])
+    mlp = MLPRegressor(hidden_layers=(64,), epochs=200, random_state=0)
+    mlp.fit(x, y)
+    linear = LinearRegressor().fit(x, y)
+    assert mlp.rmse(x, y) < 0.5 * linear.rmse(x, y)
+
+
+def test_loss_decreases():
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(200, 3))
+    y = x[:, 0] ** 2
+    mlp = MLPRegressor(epochs=50, random_state=0).fit(x, y)
+    losses = mlp.loss_history
+    assert losses[-1] < losses[0]
+
+
+def test_deterministic_given_seed():
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(100, 2))
+    y = x.sum(axis=1)
+    a = MLPRegressor(epochs=20, random_state=5).fit(x, y)
+    b = MLPRegressor(epochs=20, random_state=5).fit(x, y)
+    np.testing.assert_allclose(a.predict(x), b.predict(x))
+
+
+def test_num_layers_convention():
+    assert MLPRegressor(hidden_layers=(256,)).num_layers == 3
+    assert MLPRegressor(hidden_layers=(64, 64)).num_layers == 4
+
+
+def test_target_standardisation_handles_scale():
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=(150, 2))
+    y = 1e6 * x[:, 0] + 5e6
+    mlp = MLPRegressor(epochs=150, random_state=0).fit(x, y)
+    # Relative error should be small despite the huge scale.
+    assert mlp.rmse(x, y) < 0.1 * np.abs(y).mean()
+
+
+def test_validation():
+    with pytest.raises(PredictorError):
+        MLPRegressor(hidden_layers=())
+    with pytest.raises(PredictorError):
+        MLPRegressor(hidden_layers=(0,))
+    with pytest.raises(PredictorError):
+        MLPRegressor(epochs=0)
+    with pytest.raises(PredictorError):
+        MLPRegressor(learning_rate=0.0)
+    with pytest.raises(PredictorError):
+        MLPRegressor(weight_decay=-1.0)
+    with pytest.raises(PredictorError):
+        MLPRegressor().predict(np.zeros((1, 2)))

@@ -1,0 +1,73 @@
+"""Workload: micro-batch partitioning, degree prefix sums, Table IV configs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.graphs.datasets import get_spec
+from repro.stages.workload import Workload, workload_from_dataset
+
+
+def test_microbatch_partition(small_workload):
+    wl = small_workload
+    assert wl.num_microbatches == -(-wl.num_vertices // wl.micro_batch)
+    covered = np.concatenate([
+        wl.microbatch_vertices(i) for i in range(wl.num_microbatches)
+    ])
+    np.testing.assert_array_equal(covered, np.arange(wl.num_vertices))
+
+
+def test_ragged_last_microbatch(small_graph):
+    wl = Workload(small_graph, [(16, 8)], micro_batch=48)
+    sizes = [wl.microbatch_size(i) for i in range(wl.num_microbatches)]
+    assert sum(sizes) == wl.num_vertices
+    assert sizes[-1] == wl.num_vertices - 48 * (wl.num_microbatches - 1)
+
+
+def test_microbatch_edges_match_degrees(small_workload):
+    wl = small_workload
+    for i in range(wl.num_microbatches):
+        vertices = wl.microbatch_vertices(i)
+        assert wl.microbatch_edges(i) == wl.graph.degrees[vertices].sum()
+    total = sum(wl.microbatch_edges(i) for i in range(wl.num_microbatches))
+    assert total == wl.graph.num_arcs
+
+
+def test_average_microbatch_edges(small_workload):
+    wl = small_workload
+    expected = wl.graph.num_arcs / wl.num_microbatches
+    assert wl.average_microbatch_edges() == pytest.approx(expected)
+
+
+def test_stage_chain_matches_dims(small_workload):
+    chain = small_workload.stage_chain()
+    assert len(chain) == small_workload.num_stages == 8
+
+
+def test_out_of_range_microbatch(small_workload):
+    with pytest.raises(PipelineError):
+        small_workload.microbatch_range(small_workload.num_microbatches)
+
+
+def test_validation(small_graph):
+    with pytest.raises(PipelineError):
+        Workload(small_graph, [], micro_batch=4)
+    with pytest.raises(PipelineError):
+        Workload(small_graph, [(4, 4)], micro_batch=0)
+
+
+def test_workload_from_dataset_table_iv():
+    wl = workload_from_dataset("arxiv", random_state=0)
+    spec = get_spec("arxiv")
+    assert wl.num_layers == spec.num_layers == 3
+    assert wl.layer_dims[0] == (128, 256)
+    assert wl.layer_dims[1] == (256, 256)
+    assert wl.layer_dims[2] == (256, 40)
+    assert wl.micro_batch == 64
+    assert wl.name == "arxiv"
+
+
+def test_workload_from_dataset_reuses_graph(small_graph):
+    wl = workload_from_dataset("ddi", graph=small_graph)
+    assert wl.graph is small_graph
+    assert wl.layer_dims[0][0] == get_spec("ddi").in_channels

@@ -1,0 +1,59 @@
+"""CLI smoke tests (capture stdout, check structure)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    for name in ("ddi", "collab", "ppa", "proteins", "arxiv", "products",
+                 "cora"):
+        assert name in out
+    assert "80%" in out  # cora's sparse theta
+
+
+def test_area_command(capsys):
+    assert main(["area"]) == 0
+    out = capsys.readouterr().out
+    assert "pe_mm2" in out and "tile_mm2" in out
+
+
+def test_simulate_command(capsys):
+    assert main(["simulate", "cora", "--micro-batch", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "Serial" in out and "GoPIM" in out
+    assert "speedup" in out
+
+
+def test_gantt_command(capsys):
+    assert main(["gantt", "cora", "--width", "40", "--serial"]) == 0
+    out = capsys.readouterr().out
+    assert "CO1" in out and "GC1" in out
+    assert "bottleneck:" in out
+
+
+def test_experiments_command(capsys):
+    assert main(["experiments", "fig05"]) == 0
+    out = capsys.readouterr().out
+    assert "fig05" in out
+    assert "| allocation |" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_stats_command(capsys):
+    assert main(["stats", "cora"]) == 0
+    out = capsys.readouterr().out
+    assert "average_degree" in out and "homophily" in out
+
+
+def test_lifetime_command(capsys):
+    assert main(["lifetime", "cora"]) == 0
+    out = capsys.readouterr().out
+    assert "ISU+leveling" in out
+    assert "worst-row epochs" in out

@@ -1,0 +1,25 @@
+"""Error hierarchy: every subsystem error is a GoPIMError."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize("cls", [
+    errors.ConfigError,
+    errors.GraphError,
+    errors.MappingError,
+    errors.AllocationError,
+    errors.PipelineError,
+    errors.PredictorError,
+    errors.TrainingError,
+    errors.ExperimentError,
+])
+def test_all_errors_derive_from_base(cls):
+    assert issubclass(cls, errors.GoPIMError)
+    with pytest.raises(errors.GoPIMError):
+        raise cls("boom")
+
+
+def test_base_error_is_exception():
+    assert issubclass(errors.GoPIMError, Exception)

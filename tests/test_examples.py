@@ -1,0 +1,87 @@
+"""Example scripts: import and drive each main() in-process.
+
+Uses the session-level workload/predictor caches, so these are much
+cheaper than running the scripts as subprocesses; argv is monkeypatched
+to fast parameterisations.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_complete():
+    expected = {
+        "quickstart.py", "compare_accelerators.py", "train_with_isu.py",
+        "predictor_study.py", "pipeline_anatomy.py", "time_to_accuracy.py",
+        "deploy_on_hardware.py",
+    }
+    present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert expected <= present
+
+
+def test_quickstart_runs(capsys):
+    module = _load("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "Speedup" in out and "energy saving" in out
+
+
+def test_compare_accelerators_runs(capsys, monkeypatch):
+    module = _load("compare_accelerators")
+    monkeypatch.setattr(sys, "argv", ["compare_accelerators.py", "cora"])
+    module.main()
+    out = capsys.readouterr().out
+    assert "GoPIM" in out and "Serial" in out and "speedup" in out
+
+
+def test_train_with_isu_runs(capsys, monkeypatch):
+    module = _load("train_with_isu")
+    monkeypatch.setattr(sys, "argv", ["train_with_isu.py", "cora", "4"])
+    module.main()
+    out = capsys.readouterr().out
+    assert "Accuracy impact of ISU" in out
+    assert "ISU (interleaved)" in out
+
+
+def test_pipeline_anatomy_runs(capsys, monkeypatch):
+    module = _load("pipeline_anatomy")
+    monkeypatch.setattr(sys, "argv", ["pipeline_anatomy.py", "cora", "40"])
+    module.main()
+    out = capsys.readouterr().out
+    assert "bottleneck stage" in out
+    assert "GoPIM end-to-end speedup" in out
+
+
+def test_time_to_accuracy_runs(capsys, monkeypatch):
+    module = _load("time_to_accuracy")
+    monkeypatch.setattr(
+        sys, "argv", ["time_to_accuracy.py", "cora", "4", "0.3"],
+    )
+    module.main()
+    out = capsys.readouterr().out
+    assert "time to target" in out
+
+
+def test_deploy_on_hardware_runs(capsys, monkeypatch):
+    module = _load("deploy_on_hardware")
+    monkeypatch.setattr(
+        sys, "argv", ["deploy_on_hardware.py", "64", "10"],
+    )
+    module.main()
+    out = capsys.readouterr().out
+    assert "hardware deployments" in out
+    assert "checkpoint round-trip" in out

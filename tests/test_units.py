@@ -1,0 +1,59 @@
+"""Unit-system helpers: conversions, the mW x ns = pJ identity, formatting."""
+
+import pytest
+
+from repro import units
+
+
+def test_time_conversions_roundtrip():
+    assert units.ns_to_us(1500.0) == 1.5
+    assert units.ns_to_ms(2_500_000.0) == 2.5
+    assert units.ns_to_s(3_000_000_000.0) == 3.0
+    assert units.s_to_ns(2.0) == 2_000_000_000.0
+
+
+def test_energy_conversions():
+    assert units.pj_to_nj(1500.0) == 1.5
+    assert units.pj_to_uj(2_000_000.0) == 2.0
+    assert units.pj_to_j(5e12) == 5.0
+
+
+def test_mw_times_ns_is_pj_identity():
+    # 1 mW for 1 ns is exactly 1 pJ in SI; the unit system relies on it.
+    assert units.energy_pj(1.0, 1.0) == 1.0
+    assert units.energy_pj(6.2, 29.31) == pytest.approx(181.722)
+
+
+def test_energy_pj_rejects_negative():
+    with pytest.raises(ValueError):
+        units.energy_pj(-1.0, 5.0)
+    with pytest.raises(ValueError):
+        units.energy_pj(1.0, -5.0)
+
+
+@pytest.mark.parametrize("value,expected", [
+    (1.0, "1.00 ns"),
+    (1500.0, "1.50 us"),
+    (2_500_000.0, "2.50 ms"),
+    (3_100_000_000.0, "3.10 s"),
+])
+def test_format_time(value, expected):
+    assert units.format_time(value) == expected
+
+
+@pytest.mark.parametrize("value,expected", [
+    (1.0, "1.00 pJ"),
+    (1500.0, "1.50 nJ"),
+    (2_500_000.0, "2.50 uJ"),
+    (3_100_000_000.0, "3.10 mJ"),
+    (4.2e12, "4.20 J"),
+])
+def test_format_energy(value, expected):
+    assert units.format_energy(value) == expected
+
+
+def test_format_rejects_negative():
+    with pytest.raises(ValueError):
+        units.format_time(-1.0)
+    with pytest.raises(ValueError):
+        units.format_energy(-1.0)
