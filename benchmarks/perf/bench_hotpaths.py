@@ -1,0 +1,202 @@
+"""Hot-path microbenchmarks: vectorized kernels vs loop references.
+
+Times the three optimisation targets of the perf PR against the retained
+``*_reference`` implementations and writes the results (plus speedups) to
+``BENCH_hotpaths.json`` at the repo root:
+
+* **spmm** — ``Graph.adjacency_matmul`` (cached-CSR / segment-sum) vs the
+  ``np.add.at`` scatter reference, on a 4096-vertex dc-SBM graph with
+  128-dim features.  Target: >= 3x.
+* **simulator** — ``simulate_pipeline`` (per-row scan recurrence) vs the
+  double-loop reference on an 8-stage x 512-micro-batch grid.
+  Target: >= 5x.
+* **sweep** — the end-to-end quick experiment sweep through ``run_all``,
+  serial vs ``jobs=N``, with content-keyed caches warm in both runs so
+  the delta is scheduling, not memoisation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_hotpaths.py [--quick]
+        [--out BENCH_hotpaths.json] [--jobs N]
+
+``--quick`` shrinks problem sizes and repeat counts for CI smoke runs;
+the speedup targets are only asserted at full size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.graphs.generators import dc_sbm_graph  # noqa: E402
+from repro.pipeline.simulator import (  # noqa: E402
+    ScheduleMode,
+    simulate_pipeline,
+    simulate_pipeline_reference,
+)
+
+
+def best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Best wall-clock seconds over ``repeats`` calls (after one warmup)."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_spmm(quick: bool) -> Dict[str, float]:
+    """CSR segment-sum SpMM vs the np.add.at scatter reference."""
+    num_vertices = 1024 if quick else 4096
+    feature_dim = 64 if quick else 128
+    repeats = 3 if quick else 10
+    graph = dc_sbm_graph(
+        num_vertices=num_vertices,
+        num_communities=max(2, num_vertices // 256),
+        avg_degree=16.0,
+        random_state=0,
+        name="bench-spmm",
+    )
+    rng = np.random.default_rng(0)
+    dense = rng.standard_normal(
+        (num_vertices, feature_dim)
+    ).astype(np.float32)
+
+    vec = best_of(lambda: graph.adjacency_matmul(dense), repeats)
+    ref = best_of(lambda: graph.adjacency_matmul_reference(dense), repeats)
+    np.testing.assert_allclose(
+        graph.adjacency_matmul(dense),
+        graph.adjacency_matmul_reference(dense),
+        rtol=1e-4, atol=1e-4,
+    )
+    return {
+        "num_vertices": num_vertices,
+        "feature_dim": feature_dim,
+        "num_arcs": graph.num_arcs,
+        "vectorized_s": vec,
+        "reference_s": ref,
+        "speedup": ref / vec,
+    }
+
+
+def bench_simulator(quick: bool) -> Dict[str, float]:
+    """Vectorized pipeline recurrence vs the double-loop reference."""
+    num_stages = 8
+    num_mbs = 128 if quick else 512
+    repeats = 3 if quick else 10
+    rng = np.random.default_rng(1)
+    times = rng.uniform(1.0, 100.0, size=(num_stages, num_mbs))
+
+    def run_all_modes(sim):
+        for mode in ScheduleMode:
+            sim(times, mode=mode, microbatches_per_batch=4)
+
+    vec = best_of(lambda: run_all_modes(simulate_pipeline), repeats)
+    ref = best_of(
+        lambda: run_all_modes(simulate_pipeline_reference), repeats,
+    )
+    for mode in ScheduleMode:
+        a = simulate_pipeline(times, mode=mode, microbatches_per_batch=4)
+        b = simulate_pipeline_reference(
+            times, mode=mode, microbatches_per_batch=4,
+        )
+        np.testing.assert_allclose(a.ends, b.ends, rtol=1e-12, atol=1e-9)
+    return {
+        "num_stages": num_stages,
+        "num_microbatches": num_mbs,
+        "vectorized_s": vec,
+        "reference_s": ref,
+        "speedup": ref / vec,
+    }
+
+
+def bench_sweep(quick: bool, jobs: int) -> Dict[str, float]:
+    """End-to-end quick experiment sweep, serial vs process pool."""
+    from repro.experiments.harness import combine_markdown
+    from repro.experiments.registry import WALL_CLOCK_EXPERIMENTS, run_all
+
+    only = ["fig04", "fig05", "fig06", "fig07"] if quick else None
+    # Warm the in-process caches so both timings measure scheduling.
+    run_all(quick=True, only=only, jobs=1)
+    start = time.perf_counter()
+    serial = run_all(quick=True, only=only, jobs=1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_all(quick=True, only=only, jobs=jobs)
+    parallel_s = time.perf_counter() - start
+
+    def deterministic(results):
+        # Wall-clock-measuring experiments differ between *any* two
+        # runs; the identity claim covers the deterministic tables.
+        return combine_markdown([
+            r for r in results
+            if r.experiment_id not in WALL_CLOCK_EXPERIMENTS
+        ])
+
+    identical = deterministic(serial) == deterministic(parallel)
+    return {
+        "experiments": len(serial),
+        "jobs": jobs,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "byte_identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes / few repeats (CI smoke)")
+    parser.add_argument("--out",
+                        default=os.path.join(REPO_ROOT,
+                                             "BENCH_hotpaths.json"))
+    parser.add_argument("--jobs", type=int,
+                        default=min(4, os.cpu_count() or 1))
+    args = parser.parse_args(argv)
+
+    report = {
+        "quick": args.quick,
+        "spmm": bench_spmm(args.quick),
+        "simulator": bench_simulator(args.quick),
+        "sweep": bench_sweep(args.quick, args.jobs),
+    }
+    for name, target in (("spmm", 3.0), ("simulator", 5.0)):
+        section = report[name]
+        print(f"{name:<10} {section['speedup']:8.1f}x "
+              f"(ref {section['reference_s'] * 1e3:9.2f} ms, "
+              f"vec {section['vectorized_s'] * 1e3:9.2f} ms)")
+        if not args.quick and section["speedup"] < target:
+            print(f"  WARNING: below the {target:.0f}x target")
+    sweep = report["sweep"]
+    print(f"{'sweep':<10} {sweep['speedup']:8.1f}x "
+          f"(serial {sweep['serial_s']:6.2f} s, "
+          f"jobs={sweep['jobs']} {sweep['parallel_s']:6.2f} s, "
+          f"byte-identical: {sweep['byte_identical']})")
+    if not sweep["byte_identical"]:
+        print("  ERROR: parallel sweep diverged from serial output")
+        return 1
+
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

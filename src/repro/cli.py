@@ -114,7 +114,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.harness import combine_markdown
     from repro.experiments.registry import run_all
 
-    results = run_all(quick=args.quick, only=args.ids or None)
+    results = run_all(quick=args.quick, only=args.ids or None,
+                      jobs=args.jobs)
     print(combine_markdown(results))
     return 0
 
@@ -202,6 +203,8 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("ids", nargs="*",
                              help="experiment ids (default: all)")
     experiments.add_argument("--quick", action="store_true")
+    experiments.add_argument("--jobs", type=int, default=1, metavar="N",
+                             help="worker processes")
 
     stats = sub.add_parser("stats", help="graph statistics for a dataset")
     stats.add_argument("dataset")

@@ -13,17 +13,13 @@ experiments changes nothing but the runtime.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
-
 from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
+from repro.perf import cache_key, clear_cache, get_cache
 from repro.predictor.dataset import generate_dataset
 from repro.predictor.predictor import TimePredictor
 from repro.stages.workload import Workload, workload_from_dataset
 
 EXPERIMENT_ARRAY_BYTES = 256 * 1024 ** 2
-
-_workload_cache: Dict[Tuple[str, int, int, float], Workload] = {}
-_predictor_cache: Dict[Tuple[int, int], TimePredictor] = {}
 
 
 def experiment_config(
@@ -40,12 +36,13 @@ def get_workload(
     scale: float = 1.0,
 ) -> Workload:
     """Cached Table IV workload for a dataset."""
-    key = (dataset, seed, micro_batch, scale)
-    if key not in _workload_cache:
-        _workload_cache[key] = workload_from_dataset(
+    key = cache_key(dataset, seed, micro_batch, float(scale))
+    return get_cache().get_or_compute(
+        "workloads", key,
+        lambda: workload_from_dataset(
             dataset, random_state=seed, micro_batch=micro_batch, scale=scale,
-        )
-    return _workload_cache[key]
+        ),
+    )
 
 
 def get_predictor(
@@ -53,14 +50,15 @@ def get_predictor(
     seed: int = 0,
 ) -> TimePredictor:
     """Cached fitted TimePredictor (deterministic per (samples, seed))."""
-    key = (num_samples, seed)
-    if key not in _predictor_cache:
+    key = cache_key(num_samples, seed)
+
+    def fit() -> TimePredictor:
         dataset = generate_dataset(num_samples=num_samples, random_state=seed)
-        _predictor_cache[key] = TimePredictor().fit(dataset)
-    return _predictor_cache[key]
+        return TimePredictor().fit(dataset)
+
+    return get_cache().get_or_compute("predictors", key, fit)
 
 
 def clear_caches() -> None:
-    """Drop cached workloads and predictors (used by tests)."""
-    _workload_cache.clear()
-    _predictor_cache.clear()
+    """Drop all cached artifacts (used by tests)."""
+    clear_cache()

@@ -39,9 +39,18 @@ class ExperimentResult:
 
     def column(self, name: str) -> List[Any]:
         """All values of one column (missing cells become None)."""
-        if name not in self.columns:
-            raise ExperimentError(f"unknown column {name!r}")
-        return [row.get(name) for row in self.rows]
+        found = False
+        values = []
+        for row in self.rows:
+            if not found and name in row:
+                found = True
+            values.append(row.get(name))
+        if not found:
+            raise ExperimentError(
+                f"unknown column {name!r}; "
+                f"available: {', '.join(self.columns)}"
+            )
+        return values
 
     def to_markdown(self, float_format: str = "{:.3g}") -> str:
         """Render as a GitHub-flavoured markdown table."""

@@ -3,11 +3,23 @@
 ``REGISTRY`` maps experiment ids to their run functions; ``run_all``
 executes every experiment (optionally with quick settings) and returns the
 results in registry order — this is what regenerates EXPERIMENTS.md.
+
+``run_all(..., jobs=N)`` fans the experiments out over a process pool.
+Every experiment is seeded deterministically from its id before running
+(in the serial path too), so a parallel sweep produces byte-identical
+tables to a serial one — the scheduling only changes wall-clock time.
+The one exception is :data:`WALL_CLOCK_EXPERIMENTS`: experiments whose
+*results* are wall-clock measurements differ between any two runs,
+serial or parallel.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import ExperimentError
 from repro.experiments import (
@@ -70,6 +82,11 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "abl-model-family": abl_model_family.run,
 }
 
+# Experiments that report measured wall-clock times (e.g. allocator
+# decision latency): their tables are not reproducible run-to-run, with
+# or without --jobs, and determinism checks must exclude them.
+WALL_CLOCK_EXPERIMENTS = frozenset({"abl-allocator"})
+
 # Parameter overrides that make a full sweep finish quickly (used by CI
 # smoke runs); the defaults reproduce the paper-fidelity versions.
 QUICK_OVERRIDES: Dict[str, dict] = {
@@ -97,14 +114,71 @@ def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
     return runner(**kwargs)
 
 
+def validate_experiment_ids(
+    only: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Resolve ``only`` against the registry, rejecting unknown ids.
+
+    Raises one :class:`ExperimentError` naming *all* unknown ids up
+    front, so a long sweep never fails midway through a partial run.
+    """
+    ids = list(REGISTRY) if only is None else list(only)
+    unknown = [i for i in ids if i not in REGISTRY]
+    if unknown:
+        raise ExperimentError(
+            f"unknown experiment id(s): {', '.join(unknown)}; "
+            f"available: {', '.join(REGISTRY)}"
+        )
+    return ids
+
+
+def experiment_seed(experiment_id: str) -> int:
+    """Deterministic per-experiment seed (stable across processes)."""
+    digest = hashlib.sha256(experiment_id.encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def _execute(task: Tuple[str, dict]) -> ExperimentResult:
+    """Run one experiment under its deterministic seed.
+
+    Used verbatim by the serial loop and the worker processes, which is
+    what makes ``jobs=N`` byte-identical to ``jobs=1``: any experiment
+    that touches numpy's legacy global RNG sees the same state either
+    way.
+    """
+    experiment_id, overrides = task
+    np.random.seed(experiment_seed(experiment_id))
+    return run_experiment(experiment_id, **overrides)
+
+
 def run_all(
     quick: bool = False,
     only: Optional[Sequence[str]] = None,
+    jobs: int = 1,
 ) -> List[ExperimentResult]:
-    """Run every registered experiment (registry order)."""
-    ids = list(REGISTRY) if only is None else list(only)
-    results: List[ExperimentResult] = []
-    for experiment_id in ids:
-        overrides = QUICK_OVERRIDES.get(experiment_id, {}) if quick else {}
-        results.append(run_experiment(experiment_id, **overrides))
-    return results
+    """Run every registered experiment (registry order).
+
+    Parameters
+    ----------
+    quick:
+        Apply :data:`QUICK_OVERRIDES` (CI smoke parameters).
+    only:
+        Subset of experiment ids; all ids are validated before anything
+        runs.
+    jobs:
+        Worker processes.  ``1`` runs in-process; ``N > 1`` fans out over
+        a ``ProcessPoolExecutor`` with results returned in registry
+        order and content identical to a serial run.
+    """
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    ids = validate_experiment_ids(only)
+    tasks = [
+        (experiment_id,
+         QUICK_OVERRIDES.get(experiment_id, {}) if quick else {})
+        for experiment_id in ids
+    ]
+    if jobs == 1 or len(tasks) <= 1:
+        return [_execute(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        return list(pool.map(_execute, tasks))

@@ -150,14 +150,14 @@ class GCN:
             if store is not None:
                 store.refresh(i, combined, updated)
                 resident = store.read(i)
-                fresh_mask = np.zeros(graph.num_vertices, dtype=bool)
                 if updated is None:
-                    fresh_mask[:] = True
+                    fresh_mask = None  # every row fresh this round
                 else:
+                    fresh_mask = np.zeros(graph.num_vertices, dtype=bool)
                     fresh_mask[updated] = True
                 effective = resident
             else:
-                fresh_mask = np.ones(graph.num_vertices, dtype=bool)
+                fresh_mask = None
                 effective = combined
             cache["combined"].append(combined)
             cache["fresh"].append(fresh_mask)
@@ -209,7 +209,9 @@ class GCN:
                 grad = grad * mask
             # Through aggregation: A_hat is symmetric.
             grad_combined = graph.normalized_adjacency_matmul(grad)
-            grad_combined = grad_combined * cache["fresh"][i][:, None]
+            fresh = cache["fresh"][i]
+            if fresh is not None:  # stale rows are crossbar constants
+                grad_combined = grad_combined * fresh[:, None]
             grads[f"W{i}"] = cache["inputs"][i].T @ grad_combined
             if i > 0:
                 grad = grad_combined @ self.params[f"W{i}"].T

@@ -30,6 +30,7 @@ import numpy as np
 from repro.errors import GraphError
 from repro.graphs.generators import RandomState, _rng, dc_sbm_graph
 from repro.graphs.graph import Graph
+from repro.perf import cache_key, get_cache
 
 
 @dataclass(frozen=True)
@@ -208,6 +209,23 @@ def load_dataset(
     spec = get_spec(name)
     if scale <= 0:
         raise GraphError("scale must be positive")
+    if isinstance(random_state, (int, np.integer)):
+        # Seeded loads are pure functions of (name, seed, scale): memoise
+        # through the artifact cache so repeated experiments share one
+        # generated instance (graphs are immutable).
+        key = cache_key(spec.name, int(random_state), float(scale))
+        return get_cache().get_or_compute(
+            "datasets", key,
+            lambda: _generate_dataset_graph(spec, random_state, scale),
+        )
+    return _generate_dataset_graph(spec, random_state, scale)
+
+
+def _generate_dataset_graph(
+    spec: DatasetSpec,
+    random_state: RandomState,
+    scale: float,
+) -> Graph:
     num_vertices = max(spec.num_communities * 2,
                        int(round(spec.sim_vertices * scale)))
     rng = _rng(random_state)

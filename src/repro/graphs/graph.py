@@ -12,11 +12,17 @@ graphs through this one class, so its invariants are load-bearing:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import GraphError
+
+try:  # scipy is optional: the reduceat fallback covers its absence.
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover - environment-dependent
+    _sparse = None
 
 
 class Graph:
@@ -86,6 +92,9 @@ class Graph:
         self._labels = labels
 
         self._degrees = np.diff(indptr).astype(np.int64)
+        # Lazily built hot-path structures (the graph is immutable, so one
+        # build amortises over every forward/backward/statistics call).
+        self._lazy: dict = {}
 
     # ------------------------------------------------------------------
     # Constructors
@@ -243,20 +252,117 @@ class Graph:
         return self.average_degree > threshold
 
     # ------------------------------------------------------------------
+    # Cached structures for the linear-algebra hot path
+    # ------------------------------------------------------------------
+    def _source_indices(self) -> np.ndarray:
+        """``src[k]`` = source vertex of CSR arc ``k`` (cached)."""
+        src = self._lazy.get("src")
+        if src is None:
+            src = np.repeat(
+                np.arange(self.num_vertices, dtype=np.int64), self._degrees,
+            )
+            self._lazy["src"] = src
+        return src
+
+    def _adjacency_csr(self):
+        """A scipy CSR adjacency with unit float32 weights, or ``None``."""
+        if _sparse is None:
+            return None
+        csr = self._lazy.get("csr")
+        if csr is None:
+            n = self.num_vertices
+            csr = _sparse.csr_matrix(
+                (
+                    np.ones(self._indices.size, dtype=np.float32),
+                    self._indices,
+                    self._indptr,
+                ),
+                shape=(n, n),
+            )
+            self._lazy["csr"] = csr
+        return csr
+
+    def _mean_scale(self) -> np.ndarray:
+        """Per-vertex ``1/degree`` (0 for isolated vertices), cached."""
+        scale = self._lazy.get("mean_scale")
+        if scale is None:
+            scale = np.where(
+                self._degrees > 0, 1.0 / np.maximum(self._degrees, 1), 0.0,
+            ).astype(np.float32)
+            self._lazy["mean_scale"] = scale
+        return scale
+
+    def _inv_sqrt_degree(self) -> np.ndarray:
+        """``(deg + 1)^-1/2`` for GCN normalisation, cached."""
+        inv = self._lazy.get("inv_sqrt")
+        if inv is None:
+            inv = (1.0 / np.sqrt(self._degrees + 1.0)).astype(np.float32)
+            self._lazy["inv_sqrt"] = inv
+        return inv
+
+    def content_fingerprint(self) -> str:
+        """Stable hex digest of structure + features + labels (cached).
+
+        Used as a content key by ``repro.perf`` so artifacts derived from
+        equal graphs (latency tables, allocator inputs) can be memoised.
+        """
+        digest = self._lazy.get("fingerprint")
+        if digest is None:
+            hasher = hashlib.sha256()
+            hasher.update(self._indptr.tobytes())
+            hasher.update(self._indices.tobytes())
+            for extra in (self._features, self._labels):
+                hasher.update(b"|")
+                if extra is not None:
+                    hasher.update(np.ascontiguousarray(extra).tobytes())
+            digest = hasher.hexdigest()
+            self._lazy["fingerprint"] = digest
+        return digest
+
+    # ------------------------------------------------------------------
     # Linear algebra used by the GCN substrate
     # ------------------------------------------------------------------
-    def adjacency_matmul(self, matrix: np.ndarray) -> np.ndarray:
-        """Compute ``A @ matrix`` with the (unnormalised) adjacency.
-
-        Implemented as a CSR scatter-add; never densifies A.
-        """
-        matrix = np.asarray(matrix)
+    def _check_rows(self, matrix: np.ndarray) -> None:
         if matrix.shape[0] != self.num_vertices:
             raise GraphError(
                 f"matrix has {matrix.shape[0]} rows, graph has "
                 f"{self.num_vertices} vertices"
             )
-        out = np.zeros_like(matrix, dtype=np.result_type(matrix, np.float32))
+
+    def adjacency_matmul(self, matrix: np.ndarray) -> np.ndarray:
+        """Compute ``A @ matrix`` with the (unnormalised) adjacency.
+
+        Inputs are normalised to float32 once at this boundary and every
+        intermediate stays float32 — the substrate's uniform dtype.  The
+        sum itself is a CSR SpMM (scipy when available, a ``reduceat``
+        segment-sum otherwise); never densifies A.
+        """
+        matrix = np.asarray(matrix, dtype=np.float32)
+        self._check_rows(matrix)
+        csr = self._adjacency_csr()
+        if csr is not None:
+            return csr @ matrix
+        return self._segment_sum(matrix[self._indices])
+
+    def _segment_sum(self, gathered: np.ndarray) -> np.ndarray:
+        """Sum CSR-arc rows into per-vertex rows (degree-0 rows are zero)."""
+        out = np.zeros(
+            (self.num_vertices,) + gathered.shape[1:], dtype=gathered.dtype,
+        )
+        if gathered.shape[0] == 0:
+            return out
+        nonempty = self._degrees > 0
+        # Consecutive non-empty row starts bound exactly one row's arcs, so
+        # reduceat never sees the empty-segment aliasing case.
+        starts = self._indptr[:-1][nonempty]
+        out[nonempty] = np.add.reduceat(gathered, starts, axis=0)
+        return out
+
+    def adjacency_matmul_reference(self, matrix: np.ndarray) -> np.ndarray:
+        """Scatter-add (``np.add.at``) SpMM kept as the equivalence oracle."""
+        matrix = np.asarray(matrix, dtype=np.float32)
+        self._check_rows(matrix)
+        out = np.zeros_like(matrix)
         src = np.repeat(np.arange(self.num_vertices), self._degrees)
         np.add.at(out, src, matrix[self._indices])
         return out
@@ -267,21 +373,22 @@ class Graph:
         Isolated vertices (degree 0) aggregate to zero rows.
         """
         sums = self.adjacency_matmul(matrix)
-        scale = np.where(self._degrees > 0, 1.0 / np.maximum(self._degrees, 1), 0.0)
-        return (sums * scale[:, None]).astype(np.float32)
+        scale = self._mean_scale()
+        if sums.ndim == 1:
+            return sums * scale
+        return sums * scale[:, None]
 
     def normalized_adjacency_matmul(self, matrix: np.ndarray) -> np.ndarray:
         """Compute ``D^-1/2 (A + I) D^-1/2 @ matrix`` (GCN propagation)."""
         matrix = np.asarray(matrix, dtype=np.float32)
-        if matrix.shape[0] != self.num_vertices:
-            raise GraphError(
-                f"matrix has {matrix.shape[0]} rows, graph has "
-                f"{self.num_vertices} vertices"
-            )
-        inv_sqrt = 1.0 / np.sqrt(self._degrees + 1.0)
+        self._check_rows(matrix)
+        inv_sqrt = self._inv_sqrt_degree()
+        if matrix.ndim == 1:
+            scaled = matrix * inv_sqrt
+            return (self.adjacency_matmul(scaled) + scaled) * inv_sqrt
         scaled = matrix * inv_sqrt[:, None]
         propagated = self.adjacency_matmul(scaled) + scaled
-        return (propagated * inv_sqrt[:, None]).astype(np.float32)
+        return propagated * inv_sqrt[:, None]
 
     # ------------------------------------------------------------------
     # Transformations
@@ -302,7 +409,7 @@ class Graph:
 
     def edge_list(self) -> np.ndarray:
         """Return the unique undirected edge list as an ``(m, 2)`` array."""
-        src = np.repeat(np.arange(self.num_vertices), self._degrees)
+        src = self._source_indices()
         dst = self._indices
         keep = src < dst
         return np.stack([src[keep], dst[keep]], axis=1)
@@ -319,7 +426,7 @@ class Graph:
         remap = -np.ones(self.num_vertices, dtype=np.int64)
         remap[vertex_ids] = np.arange(vertex_ids.size)
 
-        src = np.repeat(np.arange(self.num_vertices), self._degrees)
+        src = self._source_indices()
         dst = self._indices
         keep = (remap[src] >= 0) & (remap[dst] >= 0) & (src < dst)
         edges = np.stack([remap[src[keep]], remap[dst[keep]]], axis=1)
@@ -329,6 +436,13 @@ class Graph:
             vertex_ids.size, edges, features=features, labels=labels,
             name=name or f"{self._name}-sub",
         )
+
+    def __getstate__(self) -> dict:
+        # Lazy hot-path structures (scipy CSR, repeat indices, ...) are
+        # rebuildable and can dwarf the graph itself: never pickle them.
+        state = self.__dict__.copy()
+        state["_lazy"] = {}
+        return state
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,36 @@
+"""Performance subsystem: content-keyed caching of derived artifacts.
+
+See :mod:`repro.perf.cache` for the cache itself.  Consumers:
+
+* :func:`repro.graphs.datasets.load_dataset` — generated dataset graphs;
+* :func:`repro.predictor.dataset.generate_dataset` — predictor training
+  sets;
+* :mod:`repro.experiments.context` — workloads and fitted predictors;
+* :class:`repro.accelerators.base.AcceleratorModel` — stage-latency
+  tables / allocator inputs.
+
+Set the ``REPRO_CACHE_DIR`` environment variable to also persist
+artifacts on disk across processes and runs.
+"""
+
+from repro.perf.cache import (
+    ENV_DISK_CACHE,
+    ArtifactCache,
+    CacheKeyError,
+    CacheStats,
+    cache_key,
+    clear_cache,
+    get_cache,
+    memoized,
+)
+
+__all__ = [
+    "ENV_DISK_CACHE",
+    "ArtifactCache",
+    "CacheKeyError",
+    "CacheStats",
+    "cache_key",
+    "clear_cache",
+    "get_cache",
+    "memoized",
+]

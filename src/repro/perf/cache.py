@@ -1,0 +1,264 @@
+"""Content-keyed artifact cache for expensive derived artifacts.
+
+Experiments regenerate the same synthetic datasets, fitted predictors,
+stage-latency tables, and allocator inputs over and over: 26 registered
+experiments × a handful of datasets each means the same deterministic
+artifact is rebuilt dozens of times per sweep.  This module provides one
+keyed cache for all of them:
+
+* **in-process** — a dict behind a lock, always on;
+* **on-disk** — enabled by setting the ``REPRO_CACHE_DIR`` environment
+  variable (or constructing :class:`ArtifactCache` with ``disk_dir``);
+  artifacts are pickled to ``<dir>/<namespace>/<key>.pkl`` with an
+  atomic rename, so concurrent processes (the ``--jobs`` runner) can
+  share one cache directory safely.
+
+Keys are *content* keys: :func:`cache_key` hashes the actual values —
+ints, floats, strings, numpy arrays (dtype + shape + bytes), dataclasses
+(field by field), and anything exposing ``content_fingerprint()`` (e.g.
+:class:`repro.graphs.graph.Graph`).  Two callers that pass equal content
+get the same artifact regardless of where the values came from;
+unhashable inputs raise instead of colliding silently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GoPIMError
+
+ENV_DISK_CACHE = "REPRO_CACHE_DIR"
+
+
+class CacheKeyError(GoPIMError):
+    """A value passed to :func:`cache_key` cannot be hashed stably."""
+
+
+def _encode(value: Any, hasher) -> None:
+    """Feed a stable byte encoding of ``value`` into ``hasher``."""
+    if value is None:
+        hasher.update(b"N")
+    elif isinstance(value, bool):
+        hasher.update(b"B" + (b"1" if value else b"0"))
+    elif isinstance(value, (int, np.integer)):
+        hasher.update(b"I" + str(int(value)).encode())
+    elif isinstance(value, (float, np.floating)):
+        hasher.update(b"F" + repr(float(value)).encode())
+    elif isinstance(value, str):
+        hasher.update(b"S" + str(len(value)).encode() + b":" + value.encode())
+    elif isinstance(value, bytes):
+        hasher.update(b"Y" + str(len(value)).encode() + b":" + value)
+    elif isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        hasher.update(b"A" + str(arr.dtype).encode() + str(arr.shape).encode())
+        hasher.update(arr.tobytes())
+    elif isinstance(value, (tuple, list)):
+        hasher.update(b"T" + str(len(value)).encode() + b"[")
+        for item in value:
+            _encode(item, hasher)
+        hasher.update(b"]")
+    elif isinstance(value, dict):
+        hasher.update(b"D" + str(len(value)).encode() + b"{")
+        for key in sorted(value, key=str):
+            _encode(str(key), hasher)
+            _encode(value[key], hasher)
+        hasher.update(b"}")
+    elif isinstance(value, enum.Enum):
+        hasher.update(b"E" + type(value).__name__.encode())
+        _encode(value.value, hasher)
+    elif hasattr(value, "content_fingerprint"):
+        hasher.update(b"C" + str(value.content_fingerprint()).encode())
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        hasher.update(b"O" + type(value).__name__.encode() + b"(")
+        for field in dataclasses.fields(value):
+            _encode(field.name, hasher)
+            _encode(getattr(value, field.name), hasher)
+        hasher.update(b")")
+    else:
+        raise CacheKeyError(
+            f"cannot build a stable cache key from {type(value).__name__}; "
+            "pass primitives, numpy arrays, dataclasses, or objects with "
+            "a content_fingerprint() method"
+        )
+
+
+def cache_key(*parts: Any) -> str:
+    """Stable hex digest of the given content parts."""
+    hasher = hashlib.sha256()
+    for part in parts:
+        _encode(part, hasher)
+        hasher.update(b"|")
+    return hasher.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters (in-process and on-disk tallied separately)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total hits from either tier."""
+        return self.memory_hits + self.disk_hits
+
+
+class ArtifactCache:
+    """Two-tier (memory + optional disk) content-keyed artifact cache.
+
+    Parameters
+    ----------
+    disk_dir:
+        On-disk cache root.  ``None`` defers to the ``REPRO_CACHE_DIR``
+        environment variable, checked at call time so tests and the CLI
+        can flip it without rebuilding the cache object; an empty-string
+        environment value keeps disk caching off.
+    """
+
+    def __init__(self, disk_dir: Optional[str] = None) -> None:
+        self._disk_dir = disk_dir
+        self._memory: Dict[Tuple[str, str], Any] = {}
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _disk_root(self) -> Optional[Path]:
+        root = self._disk_dir or os.environ.get(ENV_DISK_CACHE) or None
+        return Path(root) if root else None
+
+    def _disk_path(self, namespace: str, key: str) -> Optional[Path]:
+        root = self._disk_root()
+        if root is None:
+            return None
+        safe_ns = namespace.replace(os.sep, "_")
+        return root / safe_ns / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    def get_or_compute(
+        self,
+        namespace: str,
+        key: str,
+        compute: Callable[[], Any],
+    ) -> Any:
+        """Return the cached artifact for ``(namespace, key)`` or build it."""
+        mem_key = (namespace, key)
+        with self._lock:
+            if mem_key in self._memory:
+                self.stats.memory_hits += 1
+                return self._memory[mem_key]
+
+        path = self._disk_path(namespace, key)
+        if path is not None and path.exists():
+            try:
+                with open(path, "rb") as handle:
+                    value = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError):
+                value = None  # corrupt/partial file: fall through to compute
+            else:
+                with self._lock:
+                    self.stats.disk_hits += 1
+                    self._memory[mem_key] = value
+                return value
+
+        value = compute()
+        with self._lock:
+            self.stats.misses += 1
+            self._memory[mem_key] = value
+        if path is not None:
+            self._write_disk(path, value)
+        return value
+
+    @staticmethod
+    def _write_disk(path: Path, value: Any) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: concurrent --jobs workers may race on one key.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp",
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def contains(self, namespace: str, key: str) -> bool:
+        """Whether the in-process tier holds this artifact."""
+        with self._lock:
+            return (namespace, key) in self._memory
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the in-process tier (and optionally the disk tier)."""
+        with self._lock:
+            self._memory.clear()
+            self.stats = CacheStats()
+        if disk:
+            root = self._disk_root()
+            if root is not None and root.exists():
+                for entry in root.rglob("*.pkl"):
+                    try:
+                        entry.unlink()
+                    except OSError:
+                        pass
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+
+_default_cache = ArtifactCache()
+
+
+def get_cache() -> ArtifactCache:
+    """The process-wide default artifact cache."""
+    return _default_cache
+
+
+def clear_cache(disk: bool = False) -> None:
+    """Reset the default cache (tests and the CLI's cold-start paths)."""
+    _default_cache.clear(disk=disk)
+
+
+def memoized(namespace: str, key_fn: Optional[Callable[..., tuple]] = None):
+    """Decorator memoising a function through the default cache.
+
+    ``key_fn(*args, **kwargs)`` must return the tuple of content parts to
+    key on; by default the positional and sorted keyword arguments are
+    used directly (they must be :func:`cache_key`-encodable).
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        def wrapper(*args, **kwargs):
+            parts = (
+                key_fn(*args, **kwargs)
+                if key_fn is not None
+                else args + tuple(sorted(kwargs.items()))
+            )
+            key = cache_key(fn.__module__, fn.__qualname__, *parts)
+            return get_cache().get_or_compute(
+                namespace, key, lambda: fn(*args, **kwargs),
+            )
+
+        wrapper.__name__ = fn.__name__
+        wrapper.__doc__ = fn.__doc__
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate

@@ -91,6 +91,18 @@ class PipelineResult:
         ])
 
 
+def _validate_times(times_ns: np.ndarray) -> np.ndarray:
+    times = np.asarray(times_ns, dtype=np.float64)
+    if times.ndim != 2:
+        raise PipelineError("times_ns must be (num_stages, num_microbatches)")
+    if np.any(times < 0):
+        raise PipelineError("stage times must be non-negative")
+    num_stages, num_mbs = times.shape
+    if num_stages == 0 or num_mbs == 0:
+        raise PipelineError("need at least one stage and one micro-batch")
+    return times
+
+
 def simulate_pipeline(
     times_ns: np.ndarray,
     mode: ScheduleMode = ScheduleMode.INTRA_INTER,
@@ -109,22 +121,97 @@ def simulate_pipeline(
         Batch size for ``INTRA_BATCH`` drains; defaults to all
         micro-batches forming one batch (no drain, but Eq. 3/4 still
         serialise per-stage and per-micro-batch).
+
+    The Eq. 3/4 recurrence is evaluated one *stage row* at a time as a
+    running-maximum scan over micro-batches: with ``c[j]`` the external
+    constraint (drain / previous stage) and ``pre[j]`` the exclusive
+    prefix sum of the row's times, ``end[j] - cum[j]`` equals
+    ``max.accumulate(c - pre)`` — so the only Python loop left is over
+    stages.  Batches are scheduled *relative to their own drain time*
+    (the recurrence is translation-invariant in a uniform start
+    constraint), so all batches scan simultaneously and the cumulative
+    drains are applied afterwards as per-batch offsets.
+    ``simulate_pipeline_reference`` keeps the original double-loop form
+    as the equivalence oracle.
     """
-    times = np.asarray(times_ns, dtype=np.float64)
-    if times.ndim != 2:
-        raise PipelineError("times_ns must be (num_stages, num_microbatches)")
-    if np.any(times < 0):
-        raise PipelineError("stage times must be non-negative")
+    times = _validate_times(times_ns)
     num_stages, num_mbs = times.shape
-    if num_stages == 0 or num_mbs == 0:
-        raise PipelineError("need at least one stage and one micro-batch")
+
+    if mode is ScheduleMode.SERIAL:
+        # Micro-batch-major sequential execution: mb 0 through all stages,
+        # then mb 1, ... (order does not change the makespan).
+        ends = np.cumsum(times.T.reshape(-1)).reshape(num_mbs, num_stages).T
+        starts = ends - times
+        return PipelineResult(starts=starts, ends=ends, mode=mode)
+
+    batch = num_mbs if microbatches_per_batch is None else microbatches_per_batch
+    if batch < 1:
+        raise PipelineError("microbatches_per_batch must be >= 1")
+    if mode is not ScheduleMode.INTRA_BATCH:
+        batch = num_mbs  # one batch, no drain
+
+    num_batches = -(-num_mbs // batch)
+    padded = num_batches * batch
+    if padded == num_mbs:
+        grid = times
+    else:
+        # Zero-time padding never extends a batch's schedule, so the
+        # drains (and the real columns) are unaffected.
+        grid = np.zeros((num_stages, padded))
+        grid[:, :num_mbs] = times
+    # blocks[k, i, j]: stage i, micro-batch j of batch k.
+    blocks = grid.reshape(num_stages, num_batches, batch).transpose(1, 0, 2)
+    cum = np.cumsum(blocks, axis=2)
+    pre = cum - blocks
+
+    # Every batch is scheduled relative to its own drain time: within a
+    # batch all ends stay >= the drain, so the Eq. 3/4 recurrence just
+    # shifts with it and every batch can be scanned simultaneously.
+    rel_starts = np.empty_like(blocks)
+    rel_ends = np.empty_like(blocks)
+    prev_row_ends = np.zeros((num_batches, batch))
+    for stage in range(num_stages):
+        # Eq. (4) constraint, then Eq. (3) via the running-max scan.
+        offset = np.maximum.accumulate(prev_row_ends - pre[:, stage], axis=1)
+        row_starts = offset + pre[:, stage]
+        rel_starts[:, stage] = row_starts
+        rel_ends[:, stage] = row_starts + blocks[:, stage]
+        prev_row_ends = rel_ends[:, stage]
+
+    # The previous batch's max end also dominates every earlier batch
+    # (drains are monotone), so Eq. (3)'s cross-batch term is subsumed
+    # by the drain and the offsets accumulate batch by batch.
+    batch_spans = rel_ends.reshape(num_batches, -1).max(axis=1)
+    drains = np.concatenate(([0.0], np.cumsum(batch_spans[:-1])))
+    rel_starts += drains[:, None, None]
+    rel_ends += drains[:, None, None]
+    starts = rel_starts.transpose(1, 0, 2).reshape(num_stages, padded)
+    ends = rel_ends.transpose(1, 0, 2).reshape(num_stages, padded)
+    return PipelineResult(
+        starts=starts[:, :num_mbs].copy(),
+        ends=ends[:, :num_mbs].copy(),
+        mode=mode,
+    )
+
+
+def simulate_pipeline_reference(
+    times_ns: np.ndarray,
+    mode: ScheduleMode = ScheduleMode.INTRA_INTER,
+    microbatches_per_batch: Optional[int] = None,
+) -> PipelineResult:
+    """The original pure-Python scheduling loop (equivalence oracle).
+
+    Kept only so tests can assert the vectorized :func:`simulate_pipeline`
+    matches Eq. 3/4 event by event; orders of magnitude slower on large
+    grids.
+    """
+    times = _validate_times(times_ns)
+    num_stages, num_mbs = times.shape
 
     starts = np.zeros_like(times)
     ends = np.zeros_like(times)
 
     if mode is ScheduleMode.SERIAL:
-        # Micro-batch-major sequential execution: mb 0 through all stages,
-        # then mb 1, ... (order does not change the makespan).
         clock = 0.0
         for mb in range(num_mbs):
             for stage in range(num_stages):

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.errors import PredictorError
 from repro.graphs.generators import RandomState, _rng, dc_sbm_graph
+from repro.perf import cache_key, get_cache
 from repro.predictor.features import stage_samples
 from repro.stages.latency import StageTimingModel
 from repro.stages.workload import Workload
@@ -99,6 +100,21 @@ def generate_dataset(
         raise PredictorError("num_samples must be >= 1")
     if noise_sigma < 0:
         raise PredictorError("noise_sigma must be >= 0")
+    if isinstance(random_state, (int, np.integer)):
+        # Seeded generation is deterministic: memoise the whole dataset.
+        key = cache_key(num_samples, int(random_state), float(noise_sigma))
+        return get_cache().get_or_compute(
+            "predictor-datasets", key,
+            lambda: _generate(num_samples, random_state, noise_sigma),
+        )
+    return _generate(num_samples, random_state, noise_sigma)
+
+
+def _generate(
+    num_samples: int,
+    random_state: RandomState,
+    noise_sigma: float,
+) -> PredictorDataset:
     rng = _rng(random_state)
     feature_rows: List[np.ndarray] = []
     target_rows: List[np.ndarray] = []

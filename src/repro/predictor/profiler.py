@@ -34,8 +34,32 @@ def profile_stage_times(
 
     The returned times are the exact per-stage means; the overhead is the
     total simulated serial execution time spent to observe them (every
-    stage of every micro-batch, ``epochs`` times).
+    stage of every micro-batch, ``epochs`` times).  Uses the timing
+    model's vectorized whole-epoch matrix; the retained
+    :func:`profile_stage_times_reference` walks the stage × micro-batch
+    grid in Python and exists only as the equivalence oracle.
     """
+    if epochs < 1:
+        raise PredictorError("epochs must be >= 1")
+    workload = timing_model.workload
+    matrix = timing_model.stage_time_matrix()
+    per_stage = matrix.sum(axis=1)
+    stage_times: Dict[str, float] = {
+        stage.name: float(per_stage[i] / workload.num_microbatches)
+        for i, stage in enumerate(timing_model.stages)
+    }
+    return ProfilingResult(
+        stage_times_ns=stage_times,
+        overhead_ns=float(per_stage.sum()) * epochs,
+        epochs_profiled=epochs,
+    )
+
+
+def profile_stage_times_reference(
+    timing_model: StageTimingModel,
+    epochs: int = 1,
+) -> ProfilingResult:
+    """Original per-(stage, micro-batch) loop, kept as equivalence oracle."""
     if epochs < 1:
         raise PredictorError("epochs must be >= 1")
     workload = timing_model.workload

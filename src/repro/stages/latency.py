@@ -120,6 +120,8 @@ class StageTimingModel:
         # Cache per-micro-batch write maxima per epoch phase; computing the
         # per-crossbar histogram per call would dominate runtime otherwise.
         self._write_max_cache: Dict[tuple, int] = {}
+        # Lazily built vectors shared by the batched (whole-epoch) methods.
+        self._vector_cache: Dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -262,6 +264,203 @@ class StageTimingModel:
         )
 
     # ------------------------------------------------------------------
+    # Vectorized whole-epoch forms (the hot path; the scalar methods above
+    # are retained as the per-micro-batch reference the tests check).
+    # ------------------------------------------------------------------
+    def _mb_sizes(self) -> np.ndarray:
+        sizes = self._vector_cache.get("sizes")
+        if sizes is None:
+            sizes = self._workload.microbatch_sizes()
+            self._vector_cache["sizes"] = sizes
+        return sizes
+
+    def _mb_edges(self) -> np.ndarray:
+        edges = self._vector_cache.get("edges")
+        if edges is None:
+            edges = self._workload.microbatch_edge_counts()
+            self._vector_cache["edges"] = edges
+        return edges
+
+    def _write_row_maxima(self) -> tuple:
+        """Busiest-crossbar row counts for every micro-batch at once.
+
+        Returns ``(partial_max, full_max)`` vectors over micro-batches.
+        One flat ``bincount`` over the (micro-batch, crossbar) pairs
+        replaces ``num_mbs`` separate intersect + histogram passes.
+        """
+        cached = self._vector_cache.get("write_maxima")
+        if cached is not None:
+            return cached
+        workload = self._workload
+        num_mbs = workload.num_microbatches
+        mapping = self._plan.mapping
+        num_xb = mapping.num_crossbars
+        crossbar_of = mapping.crossbar_of
+        mb_of = (
+            np.arange(workload.num_vertices, dtype=np.int64)
+            // workload.micro_batch
+        )
+        full = np.bincount(
+            mb_of * num_xb + crossbar_of, minlength=num_mbs * num_xb,
+        ).reshape(num_mbs, num_xb).max(axis=1)
+        important = self._plan.important
+        if important.size:
+            partial = np.bincount(
+                mb_of[important] * num_xb + crossbar_of[important],
+                minlength=num_mbs * num_xb,
+            ).reshape(num_mbs, num_xb).max(axis=1)
+        else:
+            partial = np.zeros(num_mbs, dtype=np.int64)
+        self._vector_cache["write_maxima"] = (partial, full)
+        # Seed the scalar cache so later per-micro-batch calls are free.
+        for mb in range(num_mbs):
+            self._write_max_cache.setdefault((mb, False), int(partial[mb]))
+            self._write_max_cache.setdefault((mb, True), int(full[mb]))
+        return partial, full
+
+    def _important_counts(self) -> np.ndarray:
+        """How many important vertices each micro-batch contains."""
+        counts = self._vector_cache.get("important_counts")
+        if counts is None:
+            bounds = self._workload.microbatch_boundaries()
+            counts = np.diff(np.searchsorted(self._plan.important, bounds))
+            self._vector_cache["important_counts"] = counts
+        return counts
+
+    def compute_times_ns(self, stage: StageSpec, replicas: int = 1) -> np.ndarray:
+        """Vector of :meth:`compute_time_ns` over every micro-batch."""
+        if replicas < 1:
+            raise PipelineError("replicas must be >= 1")
+        cfg = self._config
+        sizes = self._mb_sizes().astype(np.float64)
+        if stage.kind.is_edge_proportional:
+            edges = self._mb_edges()
+            effective = np.minimum(
+                replicas * self._params.intrinsic_edge_parallelism,
+                np.maximum(1, edges),
+            ).astype(np.float64)
+            mvm = edges * cfg.mvm_latency_ns
+            row_tiles = self._row_tiles(stage.mapped_rows)
+            groups = -(-row_tiles // self._params.scan_group_tiles)
+            scan = sizes * groups * cfg.read_latency_ns
+            return (mvm + scan) / effective
+        effective = np.minimum(replicas, sizes)
+        row_tiles = self._row_tiles(stage.input_dim)
+        return sizes * row_tiles * cfg.mvm_latency_ns / effective
+
+    def write_times_ns(self, stage: StageSpec) -> np.ndarray:
+        """Vector of :meth:`write_time_ns` over every micro-batch."""
+        cfg = self._config
+        num_mbs = self._workload.num_microbatches
+        per_row = cfg.row_write_latency_ns * self._params.write_pulses
+        if stage.kind is StageKind.AGGREGATION:
+            period = self._plan.minor_period
+            partial, full = self._write_row_maxima()
+            expected = ((period - 1) * partial + full) / period
+            return expected * per_row
+        if stage.kind is StageKind.COMBINATION:
+            rows = min(cfg.crossbar_rows, stage.mapped_rows)
+            return np.full(num_mbs, rows * per_row / num_mbs)
+        return np.zeros(num_mbs)
+
+    def reload_times_ns(self, stage: StageSpec) -> np.ndarray:
+        """Vector of :meth:`reload_time_ns` over every micro-batch."""
+        num_mbs = self._workload.num_microbatches
+        if (
+            self._params.reload_penalty == 0.0
+            or not stage.kind.is_edge_proportional
+        ):
+            return np.zeros(num_mbs)
+        return (
+            self._mb_edges()
+            * self._params.reload_penalty
+            * self._config.row_write_latency_ns
+        )
+
+    def microbatch_times_ns(
+        self,
+        stage: StageSpec,
+        replicas: int = 1,
+    ) -> np.ndarray:
+        """Vector of :meth:`microbatch_time_ns` over every micro-batch."""
+        return (
+            self.compute_times_ns(stage, replicas)
+            + self.write_times_ns(stage)
+            + self.reload_times_ns(stage)
+        )
+
+    def stage_time_matrix(self, replicas=None) -> np.ndarray:
+        """The full ``(num_stages, num_microbatches)`` latency matrix.
+
+        ``replicas`` may be ``None`` (1 everywhere), a scalar, or a
+        per-stage vector — the allocator's assignment.  This is what the
+        accelerator models and the profiler feed to ``simulate_pipeline``.
+        """
+        num_stages = len(self._stages)
+        if replicas is None:
+            replica_vec = np.ones(num_stages, dtype=np.int64)
+        else:
+            replica_vec = np.broadcast_to(
+                np.asarray(replicas, dtype=np.int64), (num_stages,)
+            )
+        return np.stack([
+            self.microbatch_times_ns(stage, int(replica_vec[i]))
+            for i, stage in enumerate(self._stages)
+        ])
+
+    def stage_activity_totals(self, stage: StageSpec) -> StageActivity:
+        """Whole-epoch :meth:`activity` totals, computed in one pass."""
+        cfg = self._config
+        sizes = self._mb_sizes()
+        col_tiles = self._col_tiles(stage.mapped_cols)
+        value_bytes = max(1, cfg.input_bits // 8)
+        pulses = self._params.write_pulses
+
+        if stage.kind.is_edge_proportional:
+            edges = self._mb_edges()
+            streams = int(edges.sum())
+            buffer_bytes = float(
+                (edges * value_bytes
+                 + sizes * stage.mapped_cols * value_bytes).sum()
+            )
+        else:
+            streams = int(sizes.sum()) * self._row_tiles(stage.input_dim)
+            buffer_bytes = float(
+                (sizes * (stage.input_dim + stage.mapped_cols)
+                 * value_bytes).sum()
+            )
+
+        rows_written = 0
+        if stage.kind is StageKind.AGGREGATION:
+            period = self._plan.minor_period
+            expected = (
+                (period - 1) * self._important_counts() + sizes
+            ) / period
+            rows_written = int(
+                np.round(expected * pulses * col_tiles).astype(np.int64).sum()
+            )
+        elif stage.kind is StageKind.COMBINATION:
+            num_mbs = self._workload.num_microbatches
+            rows = min(cfg.crossbar_rows, stage.mapped_rows)
+            rows_written = num_mbs * int(round(
+                rows * pulses * col_tiles / num_mbs
+            ))
+        if self._params.reload_penalty > 0 and stage.kind.is_edge_proportional:
+            edges = self._mb_edges()
+            rows_written += int(
+                np.round(edges * self._params.reload_penalty * pulses
+                         * col_tiles).astype(np.int64).sum()
+            )
+
+        return StageActivity(
+            mvm_row_streams=streams,
+            crossbars_per_stream=col_tiles,
+            rows_written=rows_written,
+            buffer_bytes=buffer_bytes,
+            offchip_bytes=buffer_bytes * 0.5,
+        )
+
+    # ------------------------------------------------------------------
     # Totals
     # ------------------------------------------------------------------
     def microbatch_time_ns(
@@ -279,10 +478,10 @@ class StageTimingModel:
 
     def mean_stage_time_ns(self, stage: StageSpec, replicas: int = 1) -> float:
         """Mean per-micro-batch latency across the epoch (allocator input)."""
-        total = 0.0
-        for mb in range(self._workload.num_microbatches):
-            total += self.microbatch_time_ns(stage, mb, replicas)
-        return total / self._workload.num_microbatches
+        return float(
+            self.microbatch_times_ns(stage, replicas).sum()
+            / self._workload.num_microbatches
+        )
 
     def no_replica_times(self) -> Dict[str, float]:
         """Stage name -> mean time without replication (predictor target)."""

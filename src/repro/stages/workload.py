@@ -106,6 +106,19 @@ class Workload:
         start, stop = self.microbatch_range(index)
         return int(self._degree_prefix[stop] - self._degree_prefix[start])
 
+    def microbatch_boundaries(self) -> np.ndarray:
+        """Vertex-id boundaries of every micro-batch: length ``num_mbs + 1``."""
+        bounds = np.arange(self.num_microbatches + 1, dtype=np.int64)
+        return np.minimum(bounds * self.micro_batch, self.num_vertices)
+
+    def microbatch_sizes(self) -> np.ndarray:
+        """Vertices per micro-batch for all micro-batches at once."""
+        return np.diff(self.microbatch_boundaries())
+
+    def microbatch_edge_counts(self) -> np.ndarray:
+        """Degree sums per micro-batch for all micro-batches at once."""
+        return np.diff(self._degree_prefix[self.microbatch_boundaries()])
+
     def average_microbatch_edges(self) -> float:
         """Mean degree-sum per micro-batch."""
         return float(self._degree_prefix[-1]) / self.num_microbatches

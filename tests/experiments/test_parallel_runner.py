@@ -1,0 +1,72 @@
+"""run_all: id validation, deterministic seeding, process-pool fan-out."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.harness import ExperimentResult, combine_markdown
+from repro.experiments.registry import (
+    experiment_seed,
+    run_all,
+    validate_experiment_ids,
+)
+
+SMALL_IDS = ["fig04", "fig05"]
+
+
+def test_validate_rejects_all_unknown_ids_at_once():
+    with pytest.raises(ExperimentError) as excinfo:
+        validate_experiment_ids(["fig05", "nope", "also-nope"])
+    message = str(excinfo.value)
+    assert "nope" in message and "also-nope" in message
+    assert "fig05" in message  # the available-ids listing
+
+
+def test_run_all_validates_before_running():
+    with pytest.raises(ExperimentError):
+        run_all(only=["fig05", "unknown-id"])
+
+
+def test_run_all_rejects_bad_jobs():
+    with pytest.raises(ExperimentError):
+        run_all(only=SMALL_IDS, jobs=0)
+
+
+def test_experiment_seed_is_stable_and_distinct():
+    assert experiment_seed("fig05") == experiment_seed("fig05")
+    assert experiment_seed("fig05") != experiment_seed("fig04")
+    assert 0 <= experiment_seed("fig05") < 2**32
+
+
+def test_parallel_matches_serial_byte_for_byte():
+    serial = run_all(only=SMALL_IDS, quick=True, jobs=1)
+    parallel = run_all(only=SMALL_IDS, quick=True, jobs=2)
+    assert [r.experiment_id for r in parallel] == [
+        r.experiment_id for r in serial
+    ]
+    assert combine_markdown(parallel) == combine_markdown(serial)
+
+
+def test_results_returned_in_registry_order():
+    results = run_all(only=["fig05", "fig04"], quick=True, jobs=2)
+    # `only` order is preserved, not re-sorted.
+    assert [r.experiment_id for r in results] == ["fig05", "fig04"]
+    assert all(isinstance(r, ExperimentResult) for r in results)
+
+
+class TestColumnAccessor:
+    def test_missing_cells_become_none(self):
+        result = ExperimentResult(
+            experiment_id="x", title="t",
+            rows=[{"a": 1, "b": 2}, {"a": 3}],
+        )
+        assert result.column("b") == [2, None]
+
+    def test_unknown_column_lists_available(self):
+        result = ExperimentResult(
+            experiment_id="x", title="t", rows=[{"a": 1, "b": 2}],
+        )
+        with pytest.raises(ExperimentError) as excinfo:
+            result.column("c")
+        assert "available: a, b" in str(excinfo.value)
