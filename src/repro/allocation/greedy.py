@@ -83,7 +83,7 @@ def greedy_allocation(
                     problem.times_ns[stage_p] / (replicas[stage_p] + 1)
                     + floors[stage_p]
                 )
-                second = _second_max_time(heap_p, stage_p)
+                second = heap_p.max_excluding(stage_p)
                 delta_max = max(0.0, old_max - max(new_time, second))
                 value_p = (gain_p + b_minus_1 * delta_max) / costs[stage_p]
                 if value_p > chosen_value:
@@ -113,15 +113,6 @@ def greedy_allocation(
             break
 
     return AllocationResult(problem=problem, replicas=replicas, strategy="gopim-greedy")
-
-
-def _second_max_time(heap_p: IndexedMaxHeap, exclude_stage: int) -> float:
-    """Largest H_p key excluding one stage (0 when it is the only one)."""
-    best = 0.0
-    for key, item in heap_p.items():
-        if item != exclude_stage and key > best:
-            best = key
-    return best
 
 
 def _all_disabled(heap_v: IndexedMaxHeap) -> bool:

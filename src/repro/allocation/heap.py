@@ -99,6 +99,27 @@ class IndexedMaxHeap:
         """All (key, item) pairs in arbitrary heap order."""
         return [(key, item) for key, _, item in self._heap]
 
+    def max_excluding(self, item: object, default: float = 0.0) -> float:
+        """Largest key among entries other than ``item`` (floored at
+        ``default``), without materialising the entries.
+
+        O(1) by the heap invariant: when ``item`` is not at the root the
+        root key is the answer; when it is, the second-largest key must
+        sit at one of the root's children.
+        """
+        index = self._pos.get(item)
+        if index is None:
+            raise AllocationError(f"item {item!r} not in heap")
+        if len(self._heap) == 1:
+            return default
+        if index != 0:
+            return max(default, self._heap[0][0])
+        best = default
+        for child in (1, 2):
+            if child < len(self._heap) and self._heap[child][0] > best:
+                best = self._heap[child][0]
+        return best
+
     # ------------------------------------------------------------------
     def _greater(self, a: int, b: int) -> bool:
         ka, oa, _ = self._heap[a]

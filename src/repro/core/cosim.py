@@ -102,24 +102,16 @@ class CoSimulation:
         problem = self._accelerator._build_problem(timing, self._config)
         allocation = self._accelerator.allocator(problem)
         replicas = allocation.replicas
-        effective = timing.workload
         plan = timing.update_plan
 
         # Two epoch flavours: minor-refresh (full write rounds) and
-        # important-only.  Precompute both makespans.
+        # important-only.  Precompute both makespans from the whole-epoch
+        # timing tables (one vector call per stage instead of a Python
+        # loop over every micro-batch; ``_epoch_times_reference`` keeps
+        # the scalar loop for equivalence tests).
         makespans = {}
         for full_round in (True, False):
-            times = np.empty(
-                (len(timing.stages), effective.num_microbatches),
-            )
-            for i, stage in enumerate(timing.stages):
-                for mb in range(effective.num_microbatches):
-                    compute = timing.compute_time_ns(
-                        stage, mb, int(replicas[i]),
-                    )
-                    write = self._epoch_write_ns(timing, stage, mb, full_round)
-                    reload = timing.reload_time_ns(stage, mb)
-                    times[i, mb] = compute + write + reload
+            times = self._epoch_times(timing, replicas, full_round)
             schedule = simulate_pipeline(
                 times, mode=self._accelerator.schedule,
                 microbatches_per_batch=self._accelerator.microbatches_per_batch,
@@ -143,6 +135,32 @@ class CoSimulation:
             result.test_metrics.append(one_epoch.test_metrics[-1])
             result.losses.append(one_epoch.losses[-1])
         return result
+
+    @staticmethod
+    def _epoch_times(timing, replicas, full_round: bool) -> np.ndarray:
+        """Whole-epoch ``(stages, microbatches)`` table for one phase."""
+        return np.stack([
+            timing.compute_times_ns(stage, int(replicas[i]))
+            + timing.phase_write_times_ns(stage, full_round)
+            + timing.reload_times_ns(stage)
+            for i, stage in enumerate(timing.stages)
+        ])
+
+    @staticmethod
+    def _epoch_times_reference(timing, replicas, full_round: bool) -> np.ndarray:
+        """Per-micro-batch scalar loop — the equivalence oracle."""
+        times = np.empty(
+            (len(timing.stages), timing.workload.num_microbatches),
+        )
+        for i, stage in enumerate(timing.stages):
+            for mb in range(timing.workload.num_microbatches):
+                compute = timing.compute_time_ns(stage, mb, int(replicas[i]))
+                write = CoSimulation._epoch_write_ns(
+                    timing, stage, mb, full_round,
+                )
+                reload = timing.reload_time_ns(stage, mb)
+                times[i, mb] = compute + write + reload
+        return times
 
     @staticmethod
     def _epoch_write_ns(timing, stage, mb, full_round: bool) -> float:

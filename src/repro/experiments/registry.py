@@ -16,7 +16,7 @@ serial or parallel.
 from __future__ import annotations
 
 import hashlib
-from concurrent.futures import ProcessPoolExecutor
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -151,6 +151,13 @@ def _execute(task: Tuple[str, dict]) -> ExperimentResult:
     return run_experiment(experiment_id, **overrides)
 
 
+def _execute_timed(task: Tuple[str, dict]) -> Tuple[ExperimentResult, float]:
+    """:func:`_execute` plus its wall time (the LPT scheduler's input)."""
+    start = time.perf_counter()
+    result = _execute(task)
+    return result, time.perf_counter() - start
+
+
 def run_all(
     quick: bool = False,
     only: Optional[Sequence[str]] = None,
@@ -167,9 +174,16 @@ def run_all(
         runs.
     jobs:
         Worker processes.  ``1`` runs in-process; ``N > 1`` fans out over
-        a ``ProcessPoolExecutor`` with results returned in registry
-        order and content identical to a serial run.
+        :func:`repro.experiments.sweep.run_scheduled` — forked workers,
+        longest experiments first, shared warm caches — with results
+        returned in registry order and content identical to a serial
+        run.
+
+    Both paths record per-experiment wall times so later parallel runs
+    schedule longest-first from measured durations.
     """
+    from repro.experiments import sweep
+
     if jobs < 1:
         raise ExperimentError(f"jobs must be >= 1, got {jobs}")
     ids = validate_experiment_ids(only)
@@ -179,6 +193,12 @@ def run_all(
         for experiment_id in ids
     ]
     if jobs == 1 or len(tasks) <= 1:
-        return [_execute(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        return list(pool.map(_execute, tasks))
+        results = []
+        durations = {}
+        for task in tasks:
+            result, seconds = _execute_timed(task)
+            results.append(result)
+            durations[sweep.wall_time_key(task[0], quick)] = seconds
+        sweep.record_wall_times(durations)
+        return results
+    return sweep.run_scheduled(tasks, jobs, quick, _execute_timed)

@@ -59,7 +59,11 @@ def quantize_symmetric(values: np.ndarray, bits: int) -> np.ndarray:
     if max_abs == 0.0:
         return values.copy()
     levels = 2 ** (bits - 1) - 1
-    scale = max_abs / levels
+    scale = np.float32(max_abs / levels)
+    if scale == 0.0:
+        # Denormal inputs: the grid step underflows float32, so every
+        # value already sits within half a step of the (zero-width) grid.
+        return values.copy()
     return (np.round(values / scale) * scale).astype(np.float32)
 
 
@@ -172,6 +176,27 @@ class Crossbar:
     # ------------------------------------------------------------------
     # Compute
     # ------------------------------------------------------------------
+    def _matmul(self, padded: np.ndarray) -> np.ndarray:
+        """Deterministic left-fold matmul kernel: ``padded @ values``.
+
+        Both the scalar and the batched read paths route through this one
+        kernel so their results agree *bit for bit*.  BLAS gemm/gemv calls
+        cannot guarantee that (their accumulation order over the wordline
+        axis changes with the batch size), so the product is accumulated
+        wordline by wordline: each output row depends only on its own
+        input row, making the kernel row-invariant by construction.
+        """
+        if padded.shape[0] == 1:
+            # axis-0 ufunc reduce is a sequential left fold — identical
+            # accumulation order to the wordline loop below, one call.
+            return np.add.reduce(padded[0, :, None] * self._values, axis=0)[None]
+        acc = padded[:, 0, None] * self._values[0]
+        tmp = np.empty_like(acc)
+        for k in range(1, self._values.shape[0]):
+            np.multiply(padded[:, k, None], self._values[k], out=tmp)
+            acc += tmp
+        return acc
+
     def mvm(self, input_vector: np.ndarray) -> np.ndarray:
         """One matrix-vector multiply: ``input @ values``.
 
@@ -188,22 +213,62 @@ class Crossbar:
             )
         if vector.size < self.rows:
             vector = np.pad(vector, (0, self.rows - vector.size))
-        result = vector @ self._values
+        result = self._matmul(vector[None, :])[0]
         self.stats.mvm_reads += 1
         self.stats.busy_ns += self._config.mvm_latency_ns
         return self._apply_read_noise(result)
 
+    def _count_reads(self, count: int) -> None:
+        """Account ``count`` analog passes exactly like ``count`` scalar
+        :meth:`mvm` calls: the event counter is arithmetic, but the float
+        ``busy_ns`` fold is replayed add-by-add because the Table II
+        latencies are not exactly representable — ``n * latency`` rounds
+        differently than ``n`` sequential additions.
+        """
+        self.stats.mvm_reads += count
+        latency = self._config.mvm_latency_ns
+        busy = self.stats.busy_ns
+        for _ in range(count):
+            busy += latency
+        self.stats.busy_ns = busy
+
     def mvm_batch(self, input_matrix: np.ndarray) -> np.ndarray:
-        """MVM for each row of ``input_matrix`` (rows stream serially)."""
+        """MVM for each row of ``input_matrix`` (rows stream serially).
+
+        Bit-identical to looping :meth:`mvm` over the rows: the matmul
+        kernel is row-invariant and the noise for all rows is drawn in one
+        batched call, which numpy fills in the same stream order as the
+        equivalent sequence of per-row draws.
+        """
         matrix = np.asarray(input_matrix, dtype=np.float32)
         if matrix.ndim != 2:
             raise MappingError("mvm_batch expects a 2-D input")
         if matrix.shape[1] > self.rows:
             raise MappingError("input rows wider than wordline count")
+        if matrix.shape[0] == 0:
+            return np.zeros((0, self.cols), dtype=np.float32)
         padded = np.pad(matrix, ((0, 0), (0, self.rows - matrix.shape[1])))
-        result = padded @ self._values
-        self.stats.mvm_reads += matrix.shape[0]
-        self.stats.busy_ns += matrix.shape[0] * self._config.mvm_latency_ns
+        result = self._matmul(padded)
+        self._count_reads(matrix.shape[0])
+        return self._apply_read_noise(result)
+
+    def read_rows(self, row_ids: np.ndarray) -> np.ndarray:
+        """Batched one-hot reads: the resident row per id, with read noise.
+
+        Equivalent — output values, noise stream, and event counters — to
+        firing one unit-input wordline per id through :meth:`mvm` (a
+        one-hot MVM returns the addressed row exactly; the noise for all
+        ids is one batched draw, which matches the per-call sequence).
+        """
+        ids = np.asarray(row_ids, dtype=np.int64)
+        if ids.ndim != 1:
+            raise MappingError("read_rows expects a 1-D id array")
+        if ids.size == 0:
+            return np.zeros((0, self.cols), dtype=np.float32)
+        if ids.min() < 0 or ids.max() >= self.rows:
+            raise MappingError("row ids out of range")
+        result = self._values[ids]
+        self._count_reads(int(ids.size))
         return self._apply_read_noise(result)
 
     def reset(self) -> None:

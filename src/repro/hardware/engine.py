@@ -126,11 +126,74 @@ class MappedMatrix:
         return out
 
     def mvm_batch(self, matrix: np.ndarray) -> np.ndarray:
-        """MVM for each input row."""
+        """MVM for each input row, batched tile by tile.
+
+        Bit-identical to :meth:`mvm_batch_reference` (the retained per-row
+        loop): row tiles whose input segment is all-zero are skipped for
+        exactly the rows the scalar path skips them for (wordlines stay
+        quiet — no activation counted, no noise drawn), partial sums
+        accumulate over row tiles in the same order, and each crossbar
+        draws its read noise for all its active rows in one batched call
+        from the same seeded stream.
+        """
+        matrix = np.asarray(matrix, dtype=np.float32)
+        if matrix.ndim != 2:
+            raise MappingError("mvm_batch expects 2-D input")
+        if matrix.shape[1] != self._matrix_rows:
+            raise MappingError(
+                f"input length {matrix.shape[1]} != matrix rows "
+                f"{self._matrix_rows}"
+            )
+        rows = self._config.crossbar_rows
+        cols = self._config.logical_cols
+        out = np.zeros((matrix.shape[0], self._matrix_cols), dtype=np.float32)
+        for r in range(self._plan.row_tiles):
+            segment = matrix[:, r * rows:(r + 1) * rows]
+            active = np.flatnonzero(np.any(segment, axis=1))
+            if active.size == 0:
+                continue
+            segment = segment[active]
+            for c in range(self._plan.col_tiles):
+                width = min(cols, self._matrix_cols - c * cols)
+                result = self._grid[r][c].mvm_batch(segment)
+                out[active, c * cols:c * cols + width] += result[:, :width]
+        return out
+
+    def mvm_batch_reference(self, matrix: np.ndarray) -> np.ndarray:
+        """Per-row loop over :meth:`mvm` — the equivalence oracle."""
         matrix = np.asarray(matrix, dtype=np.float32)
         if matrix.ndim != 2:
             raise MappingError("mvm_batch expects 2-D input")
         return np.stack([self.mvm(row) for row in matrix])
+
+    def read_rows(self, row_ids: np.ndarray) -> np.ndarray:
+        """Noisy resident rows for a sequence of logical row ids.
+
+        Equivalent to firing one one-hot MVM per id through :meth:`mvm`
+        in the given order: only the row tile holding each id activates,
+        and each crossbar's noise draws cover its ids in sequence order
+        (ids are routed to tiles with order-preserving masks, so the
+        per-crossbar subsequence matches the scalar loop's).  Duplicate
+        ids are independent reads with independent noise.
+        """
+        ids = np.asarray(row_ids, dtype=np.int64)
+        if ids.ndim != 1:
+            raise MappingError("read_rows expects a 1-D id array")
+        if ids.size and (ids.min() < 0 or ids.max() >= self._matrix_rows):
+            raise MappingError("row ids out of range")
+        rows = self._config.crossbar_rows
+        cols = self._config.logical_cols
+        out = np.empty((ids.size, self._matrix_cols), dtype=np.float32)
+        for r in range(self._plan.row_tiles):
+            here = np.flatnonzero((ids >= r * rows) & (ids < (r + 1) * rows))
+            if here.size == 0:
+                continue
+            local = ids[here] - r * rows
+            for c in range(self._plan.col_tiles):
+                width = min(cols, self._matrix_cols - c * cols)
+                block = self._grid[r][c].read_rows(local)
+                out[here, c * cols:c * cols + width] = block[:, :width]
+        return out
 
     def rewrite_rows(self, row_ids: np.ndarray, values: np.ndarray) -> float:
         """Rewrite logical matrix rows (a vertex update round).
@@ -198,18 +261,90 @@ def combine(
     return weights.mvm_batch(features)
 
 
+def segment_leftfold_sum(
+    indptr: np.ndarray,
+    rows: np.ndarray,
+    initial: np.ndarray,
+) -> np.ndarray:
+    """Segment sums of ``rows`` that replay the scalar fold bit-for-bit.
+
+    Segment ``i`` covers ``rows[indptr[i]:indptr[i + 1]]``; the result is
+    ``initial[i] + rows[s] + rows[s + 1] + ...`` accumulated *in that
+    order* in float32.  ``np.add.reduceat`` uses a different (pairwise)
+    accumulation order, so instead the fold runs round by round — round
+    ``j`` adds every segment's ``j``-th row — which reproduces exactly
+    the per-element addition sequence of the per-segment Python loop.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    out = np.array(initial, dtype=np.float32, copy=True)
+    if out.shape[0] != indptr.size - 1:
+        raise MappingError("initial must have one row per segment")
+    starts = indptr[:-1]
+    lengths = indptr[1:] - starts
+    max_len = int(lengths.max()) if lengths.size else 0
+    for j in range(max_len):
+        active = np.flatnonzero(lengths > j)
+        out[active] += rows[starts[active] + j]
+    return out
+
+
+def _arc_sources(graph: Graph, vertices: np.ndarray) -> tuple:
+    """CSR edge sources for a vertex subset, in per-vertex edge order.
+
+    Returns ``(sources, indptr)`` where ``sources`` concatenates each
+    requested vertex's neighbour list and ``indptr`` delimits them — the
+    sub-CSR the vectorized aggregation folds over.
+    """
+    starts = graph.indptr[vertices]
+    lengths = graph.indptr[vertices + 1] - starts
+    indptr = np.zeros(vertices.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    offsets = (
+        np.arange(indptr[-1], dtype=np.int64)
+        - np.repeat(indptr[:-1], lengths)
+    )
+    sources = graph.indices[np.repeat(starts, lengths) + offsets]
+    return sources, indptr
+
+
 def aggregate(
     graph: Graph,
     mapped_features: "MappedMatrix",
     vertices: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Aggregation stage: edge-serial row-major execution.
+    """Aggregation stage: edge-serial row-major execution, vectorized.
+
+    Bit-identical to :func:`aggregate_reference` (the retained per-edge
+    loop): one batched grid read covers every arc in the same edge order
+    the loop fires its one-hot MVMs (so each crossbar's noise stream and
+    event counters match exactly), and the gathered rows are summed per
+    vertex with the order-preserving left fold.  Returns the
+    *unnormalised* neighbour sums for ``vertices`` (default: all).
+    """
+    if mapped_features.shape[0] != graph.num_vertices:
+        raise MappingError("mapped feature matrix does not cover the graph")
+    if vertices is None:
+        vertices = np.arange(graph.num_vertices)
+    vertices = np.asarray(vertices, dtype=np.int64)
+    sources, indptr = _arc_sources(graph, vertices)
+    rows = mapped_features.read_rows(sources)
+    initial = np.zeros(
+        (vertices.size, mapped_features.shape[1]), dtype=np.float32,
+    )
+    return segment_leftfold_sum(indptr, rows, initial)
+
+
+def aggregate_reference(
+    graph: Graph,
+    mapped_features: "MappedMatrix",
+    vertices: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-edge one-hot MVM loop — the equivalence oracle.
 
     For each output vertex, every neighbour's resident feature row is
     activated with a unit input (one wordline fires per edge) and the
     bitline currents accumulate — the hardware analogue of summing
-    neighbour features.  Returns the *unnormalised* neighbour sums for
-    ``vertices`` (default: all).
+    neighbour features.
     """
     if mapped_features.shape[0] != graph.num_vertices:
         raise MappingError("mapped feature matrix does not cover the graph")

@@ -16,7 +16,8 @@ device-variation study.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import time
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -25,7 +26,7 @@ from repro.gcn.model import GCN
 from repro.graphs.graph import Graph
 from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
 from repro.hardware.crossbar import CrossbarStats
-from repro.hardware.engine import MappedMatrix
+from repro.hardware.engine import MappedMatrix, segment_leftfold_sum
 
 
 class FunctionalGCN:
@@ -40,6 +41,12 @@ class FunctionalGCN:
         Hardware configuration.
     quantize / read_noise_sigma:
         Forwarded to the crossbars (cell quantisation, analog noise).
+    vectorized:
+        ``True`` (default) aggregates with one batched grid read per
+        layer; ``False`` replays the per-edge one-hot MVM loop.  The two
+        paths are bit-identical — outputs, noise streams, and event
+        counters — the flag only exists so benchmarks and equivalence
+        tests can run the retained reference.
     """
 
     def __init__(
@@ -49,6 +56,7 @@ class FunctionalGCN:
         quantize: bool = False,
         read_noise_sigma: float = 0.0,
         random_state: int = 0,
+        vectorized: bool = True,
     ) -> None:
         self._model = model
         self._config = config
@@ -62,9 +70,18 @@ class FunctionalGCN:
         self._quantize = quantize
         self._noise = read_noise_sigma
         self._seed = random_state
+        self._vectorized = vectorized
         self._feature_grids: List[Optional[MappedMatrix]] = (
             [None] * model.num_layers
         )
+        self._phase_times: Dict[str, float] = {
+            "combination": 0.0, "program": 0.0, "aggregation": 0.0,
+        }
+
+    @property
+    def phase_times_s(self) -> Dict[str, float]:
+        """Cumulative wall-clock seconds per forward phase (a copy)."""
+        return dict(self._phase_times)
 
     @property
     def num_layers(self) -> int:
@@ -98,16 +115,25 @@ class FunctionalGCN:
                 raise TrainingError(
                     f"layer {layer} expects dim {d_in}, got {hidden.shape[1]}"
                 )
+            tick = time.perf_counter()
             combined = self._weights[layer].mvm_batch(hidden)
             # Fold D^-1/2 (source side) into the rows before programming.
             scaled = combined * inv_sqrt[:, None]
+            tock = time.perf_counter()
+            self._phase_times["combination"] += tock - tick
             grid = MappedMatrix(
                 scaled, config=self._config, quantize=self._quantize,
                 read_noise_sigma=self._noise,
                 random_state=self._seed + 97 * (layer + 1),
             )
             self._feature_grids[layer] = grid
-            aggregated = self._aggregate(graph, grid, scaled)
+            tick = time.perf_counter()
+            self._phase_times["program"] += tick - tock
+            if self._vectorized:
+                aggregated = self._aggregate(graph, grid, scaled)
+            else:
+                aggregated = self._aggregate_reference(graph, grid, scaled)
+            self._phase_times["aggregation"] += time.perf_counter() - tick
             # Destination-side D^-1/2.
             aggregated = aggregated * inv_sqrt[:, None]
             if layer < self.num_layers - 1:
@@ -122,7 +148,25 @@ class FunctionalGCN:
         grid: MappedMatrix,
         resident_rows: np.ndarray,
     ) -> np.ndarray:
-        """Neighbour + self sums via per-edge wordline activations."""
+        """Neighbour + self sums via one batched grid read.
+
+        One :meth:`MappedMatrix.read_rows` call covers every arc in CSR
+        edge order — the order :meth:`_aggregate_reference` fires its
+        one-hot MVMs, so each crossbar consumes its seeded noise stream
+        identically — and the gathered rows fold into per-vertex sums
+        with the order-preserving segment fold, seeded with the resident
+        row itself (the ``A + I`` self loop).
+        """
+        rows = grid.read_rows(graph.indices)
+        return segment_leftfold_sum(graph.indptr, rows, resident_rows)
+
+    def _aggregate_reference(
+        self,
+        graph: Graph,
+        grid: MappedMatrix,
+        resident_rows: np.ndarray,
+    ) -> np.ndarray:
+        """Per-edge wordline-activation loop — the equivalence oracle."""
         n = graph.num_vertices
         dim = resident_rows.shape[1]
         out = np.zeros((n, dim), dtype=np.float32)

@@ -10,11 +10,14 @@ See :mod:`repro.perf.cache` for the cache itself.  Consumers:
   tables / allocator inputs.
 
 Set the ``REPRO_CACHE_DIR`` environment variable to also persist
-artifacts on disk across processes and runs.
+artifacts on disk across processes and runs; ``REPRO_CACHE_MAX_MB``
+caps that disk tier (LRU-by-mtime eviction).
 """
 
 from repro.perf.cache import (
+    DEFAULT_DISK_CACHE_MAX_MB,
     ENV_DISK_CACHE,
+    ENV_DISK_CACHE_MAX_MB,
     ArtifactCache,
     CacheKeyError,
     CacheStats,
@@ -25,7 +28,9 @@ from repro.perf.cache import (
 )
 
 __all__ = [
+    "DEFAULT_DISK_CACHE_MAX_MB",
     "ENV_DISK_CACHE",
+    "ENV_DISK_CACHE_MAX_MB",
     "ArtifactCache",
     "CacheKeyError",
     "CacheStats",

@@ -39,6 +39,13 @@ import numpy as np
 from repro.errors import GoPIMError
 
 ENV_DISK_CACHE = "REPRO_CACHE_DIR"
+# Size cap on the disk tier in megabytes; least-recently-used artifacts
+# (by mtime, refreshed on every disk hit) are evicted once the tier
+# exceeds it.  The default is generous — a full sweep's artifacts are a
+# few hundred MB at most — so eviction only engages on shared or
+# long-lived cache directories.
+ENV_DISK_CACHE_MAX_MB = "REPRO_CACHE_MAX_MB"
+DEFAULT_DISK_CACHE_MAX_MB = 2048.0
 
 
 class CacheKeyError(GoPIMError):
@@ -168,6 +175,11 @@ class ArtifactCache:
             except (OSError, pickle.UnpicklingError, EOFError):
                 value = None  # corrupt/partial file: fall through to compute
             else:
+                try:
+                    # Refresh recency so LRU eviction spares live entries.
+                    os.utime(path)
+                except OSError:
+                    pass
                 with self._lock:
                     self.stats.disk_hits += 1
                     self._memory[mem_key] = value
@@ -179,6 +191,7 @@ class ArtifactCache:
             self._memory[mem_key] = value
         if path is not None:
             self._write_disk(path, value)
+            self._evict_over_cap()
         return value
 
     @staticmethod
@@ -197,6 +210,78 @@ class ArtifactCache:
                 os.unlink(tmp_name)
             except OSError:
                 pass
+
+    @staticmethod
+    def _disk_cap_bytes() -> float:
+        raw = os.environ.get(ENV_DISK_CACHE_MAX_MB, "").strip()
+        if not raw:
+            return DEFAULT_DISK_CACHE_MAX_MB * 1e6
+        try:
+            cap = float(raw)
+        except ValueError:
+            return DEFAULT_DISK_CACHE_MAX_MB * 1e6
+        return max(0.0, cap) * 1e6
+
+    def _evict_over_cap(self) -> int:
+        """Drop least-recently-used disk artifacts above the size cap.
+
+        Recency is mtime: refreshed on every disk hit and set at write
+        time, so eviction order is true LRU across processes sharing the
+        directory.  Returns the number of files removed.
+        """
+        root = self._disk_root()
+        if root is None or not root.exists():
+            return 0
+        cap = self._disk_cap_bytes()
+        entries = []
+        total = 0
+        for path in root.rglob("*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= cap:
+            return 0
+        evicted = 0
+        for _, size, path in sorted(entries):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            evicted += 1
+            total -= size
+            if total <= cap:
+                break
+        return evicted
+
+    def spill_to_disk(self) -> int:
+        """Publish every in-memory artifact to the disk tier.
+
+        Lets a warm process seed a newly configured ``REPRO_CACHE_DIR``
+        (e.g. the sweep runner's shared scratch tier) so sibling worker
+        processes start from its artifacts instead of recomputing them.
+        No-op without a disk root; returns the number of files written.
+        """
+        root = self._disk_root()
+        if root is None:
+            return 0
+        with self._lock:
+            snapshot = list(self._memory.items())
+        written = 0
+        for (namespace, key), value in snapshot:
+            path = self._disk_path(namespace, key)
+            if path is None or path.exists():
+                continue
+            try:
+                self._write_disk(path, value)
+            except (pickle.PicklingError, TypeError, AttributeError):
+                continue  # unpicklable artifacts stay memory-only
+            written += 1
+        if written:
+            self._evict_over_cap()
+        return written
 
     # ------------------------------------------------------------------
     def contains(self, namespace: str, key: str) -> bool:

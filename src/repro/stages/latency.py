@@ -363,6 +363,31 @@ class StageTimingModel:
             return np.full(num_mbs, rows * per_row / num_mbs)
         return np.zeros(num_mbs)
 
+    def phase_write_times_ns(
+        self,
+        stage: StageSpec,
+        full_round: bool,
+    ) -> np.ndarray:
+        """Write-time vector for one epoch *phase* (not the expected mix).
+
+        Unlike :meth:`write_times_ns`, which averages minor-refresh and
+        important-only rounds by the minor period, this prices every
+        micro-batch for a specific phase — what the co-simulation charges
+        epoch by epoch.  Matches ``CoSimulation._epoch_write_ns`` applied
+        per micro-batch.
+        """
+        cfg = self._config
+        num_mbs = self._workload.num_microbatches
+        per_row = cfg.row_write_latency_ns * self._params.write_pulses
+        if stage.kind is StageKind.AGGREGATION:
+            partial, full = self._write_row_maxima()
+            rows = full if full_round else partial
+            return rows * per_row
+        if stage.kind is StageKind.COMBINATION:
+            rows = min(cfg.crossbar_rows, stage.mapped_rows)
+            return np.full(num_mbs, rows * per_row / num_mbs)
+        return np.zeros(num_mbs)
+
     def reload_times_ns(self, stage: StageSpec) -> np.ndarray:
         """Vector of :meth:`reload_time_ns` over every micro-batch."""
         num_mbs = self._workload.num_microbatches

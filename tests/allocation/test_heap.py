@@ -123,3 +123,43 @@ def test_against_reference_model(ops):
             top_key, top_item = heap.top()
             assert top_item == best
             assert top_key == model[best]
+
+
+class TestMaxExcluding:
+    def test_excluding_root_returns_second_max(self):
+        heap = IndexedMaxHeap([(5.0, "a"), (3.0, "b"), (4.0, "c")])
+        assert heap.max_excluding("a") == 4.0
+
+    def test_excluding_non_root_returns_root(self):
+        heap = IndexedMaxHeap([(5.0, "a"), (3.0, "b"), (4.0, "c")])
+        assert heap.max_excluding("b") == 5.0
+        assert heap.max_excluding("c") == 5.0
+
+    def test_singleton_returns_default(self):
+        heap = IndexedMaxHeap([(5.0, "a")])
+        assert heap.max_excluding("a") == 0.0
+        assert heap.max_excluding("a", default=-1.0) == -1.0
+
+    def test_missing_item_raises(self):
+        heap = IndexedMaxHeap([(5.0, "a")])
+        with pytest.raises(AllocationError):
+            heap.max_excluding("zzz")
+
+    @given(st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0,
+                      allow_nan=False, allow_infinity=False),
+            st.integers(min_value=0, max_value=30),
+        ),
+        min_size=1, max_size=30,
+        unique_by=lambda pair: pair[1],
+    ))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_linear_scan(self, entries):
+        heap = IndexedMaxHeap(entries)
+        for _, item in entries:
+            expected = max(
+                (key for key, other in entries if other != item),
+                default=0.0,
+            )
+            assert heap.max_excluding(item) == max(0.0, expected)

@@ -77,3 +77,26 @@ def test_serial_epochs_uniform_cost(arxiv_graph, config):
 def test_epochs_validation(arxiv_graph, config):
     with pytest.raises(TrainingError):
         CoSimulation(gopim(), config).run(arxiv_graph, "arxiv", epochs=0)
+
+
+@pytest.mark.parametrize("make_accelerator", [gopim, serial])
+def test_epoch_tables_match_scalar_reference(
+    arxiv_graph, config, make_accelerator,
+):
+    # The vectorized whole-epoch timing tables must reproduce the
+    # retained per-micro-batch scalar loop exactly, for both epoch
+    # phases (minor refresh and important-only rounds).
+    from repro.stages.workload import workload_from_dataset
+
+    accelerator = make_accelerator()
+    cosim = CoSimulation(accelerator, config)
+    workload = workload_from_dataset("arxiv", graph=arxiv_graph)
+    timing = accelerator.build_timing_model(workload, cosim._config)
+    problem = accelerator._build_problem(timing, cosim._config)
+    replicas = accelerator.allocator(problem).replicas
+    for full_round in (True, False):
+        vectorized = CoSimulation._epoch_times(timing, replicas, full_round)
+        reference = CoSimulation._epoch_times_reference(
+            timing, replicas, full_round,
+        )
+        assert np.array_equal(vectorized, reference)

@@ -70,3 +70,84 @@ class TestColumnAccessor:
         with pytest.raises(ExperimentError) as excinfo:
             result.column("c")
         assert "available: a, b" in str(excinfo.value)
+
+
+class TestSweepScheduling:
+    """LPT ordering, wall-time persistence, and the scheduled pool."""
+
+    def test_lpt_orders_known_longest_first(self, monkeypatch, tmp_path):
+        from repro.experiments import sweep
+
+        path = tmp_path / "wall_times.json"
+        monkeypatch.setenv(sweep.ENV_SWEEP_TIMES, str(path))
+        monkeypatch.setattr(sweep, "_session_times", {})
+        sweep.record_wall_times({
+            "quick:a": 1.0, "quick:b": 9.0, "quick:c": 4.0,
+        })
+        order = sweep.lpt_order(["a", "b", "c"], quick=True)
+        assert order == [1, 2, 0]  # b (9s), c (4s), a (1s)
+
+    def test_unknown_experiments_schedule_first(self, monkeypatch, tmp_path):
+        from repro.experiments import sweep
+
+        monkeypatch.setenv(
+            sweep.ENV_SWEEP_TIMES, str(tmp_path / "wall_times.json"),
+        )
+        monkeypatch.setattr(sweep, "_session_times", {})
+        sweep.record_wall_times({"quick:a": 1.0, "quick:c": 4.0})
+        order = sweep.lpt_order(["a", "mystery", "c"], quick=True)
+        # The unknown job could be the long pole: it must start first.
+        assert order == [1, 2, 0]
+
+    def test_wall_times_persist_and_merge(self, monkeypatch, tmp_path):
+        from repro.experiments import sweep
+
+        path = tmp_path / "wall_times.json"
+        monkeypatch.setenv(sweep.ENV_SWEEP_TIMES, str(path))
+        monkeypatch.setattr(sweep, "_session_times", {})
+        sweep.record_wall_times({"quick:a": 1.0})
+        sweep.record_wall_times({"full:a": 7.0})
+        monkeypatch.setattr(sweep, "_session_times", {})  # fresh process
+        times = sweep.load_wall_times()
+        assert times == {"quick:a": 1.0, "full:a": 7.0}
+
+    def test_quick_and_full_times_are_distinct_keys(self):
+        from repro.experiments import sweep
+
+        assert (
+            sweep.wall_time_key("fig04", True)
+            != sweep.wall_time_key("fig04", False)
+        )
+
+    def test_run_all_records_serial_durations(self, monkeypatch, tmp_path):
+        from repro.experiments import sweep
+
+        monkeypatch.setenv(
+            sweep.ENV_SWEEP_TIMES, str(tmp_path / "wall_times.json"),
+        )
+        monkeypatch.setattr(sweep, "_session_times", {})
+        run_all(only=["fig05"], quick=True, jobs=1)
+        times = sweep.load_wall_times()
+        assert "quick:fig05" in times
+        assert times["quick:fig05"] >= 0.0
+
+    def test_scheduled_pool_returns_request_order(self, monkeypatch, tmp_path):
+        from repro.experiments import sweep
+
+        monkeypatch.setenv(
+            sweep.ENV_SWEEP_TIMES, str(tmp_path / "wall_times.json"),
+        )
+        # Bias recorded times so LPT submits fig04 before fig05 even
+        # though fig05 is requested first: results must still come back
+        # in request order.
+        monkeypatch.setattr(
+            sweep, "_session_times",
+            {"quick:fig04": 9.0, "quick:fig05": 0.1},
+        )
+        results = run_all(only=["fig05", "fig04"], quick=True, jobs=2)
+        assert [r.experiment_id for r in results] == ["fig05", "fig04"]
+
+    def test_limit_blas_threads_reports_boolean(self):
+        from repro.experiments.sweep import limit_blas_threads
+
+        assert limit_blas_threads(1) in (True, False)

@@ -14,6 +14,7 @@ import pytest
 from repro.graphs.generators import dc_sbm_graph
 from repro.perf import (
     ENV_DISK_CACHE,
+    ENV_DISK_CACHE_MAX_MB,
     ArtifactCache,
     CacheKeyError,
     cache_key,
@@ -193,3 +194,81 @@ def test_cross_process_determinism(tmp_path):
     np.testing.assert_array_equal(outs[0], outs[1])
     assert hits[0] == 0     # first process built it
     assert hits[1] >= 1     # second process loaded it from disk
+
+
+class TestDiskCap:
+    def _fill(self, cache, count, payload_kb=64):
+        blob = np.zeros(payload_kb * 1024 // 8)
+        for i in range(count):
+            cache.get_or_compute("ns", f"k{i}", lambda b=blob, i=i: (i, b))
+
+    def test_lru_eviction_over_cap(self, tmp_path, monkeypatch):
+        # ~64 KB per artifact, cap at ~0.2 MB: the oldest entries go.
+        monkeypatch.setenv(ENV_DISK_CACHE_MAX_MB, "0.2")
+        cache = ArtifactCache(disk_dir=str(tmp_path))
+        self._fill(cache, 6)
+        remaining = sorted(p.name for p in tmp_path.rglob("*.pkl"))
+        assert 0 < len(remaining) < 6
+        total = sum(p.stat().st_size for p in tmp_path.rglob("*.pkl"))
+        assert total <= 0.2e6
+        # The newest key always survives.
+        assert "k5.pkl" in remaining
+
+    def test_disk_hit_refreshes_recency(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_DISK_CACHE_MAX_MB, "0.2")
+        cache = ArtifactCache(disk_dir=str(tmp_path))
+        self._fill(cache, 3)
+        # Backdate everything (k0 oldest), then re-read k0 from disk
+        # through a fresh cache: the hit must bump its recency so the
+        # next overflow evicts k1 — the stalest entry — instead.
+        for age, name in enumerate(("k0", "k1", "k2")):
+            os.utime(tmp_path / "ns" / f"{name}.pkl", (age, age))
+        fresh = ArtifactCache(disk_dir=str(tmp_path))
+        fresh.get_or_compute("ns", "k0", lambda: None)
+        assert fresh.stats.disk_hits == 1
+        fresh.get_or_compute(
+            "ns", "k3", lambda: np.zeros(64 * 1024 // 8),
+        )
+        names = {p.name for p in tmp_path.rglob("*.pkl")}
+        assert "k0.pkl" in names
+        assert "k1.pkl" not in names
+
+    def test_generous_default_keeps_everything(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(ENV_DISK_CACHE_MAX_MB, raising=False)
+        cache = ArtifactCache(disk_dir=str(tmp_path))
+        self._fill(cache, 6)
+        assert len(list(tmp_path.rglob("*.pkl"))) == 6
+
+    def test_bad_cap_value_falls_back_to_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_DISK_CACHE_MAX_MB, "not-a-number")
+        cache = ArtifactCache(disk_dir=str(tmp_path))
+        self._fill(cache, 4)
+        assert len(list(tmp_path.rglob("*.pkl"))) == 4
+
+
+class TestSpillToDisk:
+    def test_spills_memory_entries_to_new_tier(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(ENV_DISK_CACHE, raising=False)
+        cache = ArtifactCache()
+        cache.get_or_compute("ns", "k", lambda: 41)
+        monkeypatch.setenv(ENV_DISK_CACHE, str(tmp_path))
+        assert cache.spill_to_disk() == 1
+        reader = ArtifactCache(disk_dir=str(tmp_path))
+        assert reader.get_or_compute("ns", "k", lambda: -1) == 41
+
+    def test_existing_files_not_rewritten(self, tmp_path):
+        cache = ArtifactCache(disk_dir=str(tmp_path))
+        cache.get_or_compute("ns", "k", lambda: 1)
+        assert cache.spill_to_disk() == 0
+
+    def test_noop_without_disk_tier(self, monkeypatch):
+        monkeypatch.delenv(ENV_DISK_CACHE, raising=False)
+        cache = ArtifactCache()
+        cache.get_or_compute("ns", "k", lambda: 1)
+        assert cache.spill_to_disk() == 0
+
+    def test_unpicklable_entries_skipped(self, tmp_path):
+        cache = ArtifactCache()
+        cache.get_or_compute("ns", "bad", lambda: (lambda: None))
+        cache._disk_dir = str(tmp_path)
+        assert cache.spill_to_disk() == 0
