@@ -15,24 +15,35 @@ Times the optimisation targets of the perf PRs against the retained
   one-hot reference, on a 4096-vertex / ~64k-arc / 128-dim workload.
   The two paths must agree bit-for-bit (outputs *and* ``CrossbarStats``)
   — the bench asserts that, not just the speedup.  Target: >= 20x.
+* **allocator** — the vectorized ``exhaustive_allocation`` (bisected
+  feasibility frontier + one broadcast requirement grid + deduped
+  refinement) vs the retained per-candidate Python sweep, on a 64-stage
+  synthetic problem with deep replica caps.  The two must return
+  byte-identical allocations — asserted, not assumed.  Target: >= 10x.
 * **sweep** — the end-to-end quick experiment sweep through ``run_all``,
   serial vs ``jobs=N`` (forked workers, longest-job-first scheduling),
   with content-keyed caches warm in both runs so the delta is
   scheduling, not memoisation.  The report includes the visible CPU
   count and the LPT lower-bound speedup computed from the measured
   per-experiment durations, so a 1-CPU container's inevitable <1x
-  result is distinguishable from a scheduling regression.
+  result is distinguishable from a scheduling regression.  The serial
+  run is phase-profiled (``repro.perf.profile``) and its attribution is
+  written to ``--phases`` (default ``BENCH_phases.json`` at the repo
+  root) with the attributed share of wall time as ``phase_coverage``.
 
 ``--quick`` shrinks problem sizes and repeat counts for CI smoke runs
 and turns the regression thresholds into hard failures: functional
-speedup must exceed 5x, and the parallel sweep must beat serial
+speedup must exceed 5x, the allocator must hold its 10x, phase coverage
+must stay above 0.75, and the parallel sweep must beat serial
 (speedup > 1.0) whenever more than one CPU is visible — on a single
 CPU the guard only requires bounded pool overhead (> 0.8x).
+``benchmarks/perf/check_regression.py`` compares the written report
+against the committed baseline with a tolerance band.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/bench_hotpaths.py [--quick]
-        [--out BENCH_hotpaths.json] [--jobs N]
+        [--out BENCH_hotpaths.json] [--jobs N] [--phases PATH]
 """
 
 from __future__ import annotations
@@ -42,7 +53,7 @@ import json
 import os
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -229,19 +240,68 @@ def _timed(fn: Callable[[], object]) -> float:
     return time.perf_counter() - start
 
 
-def bench_sweep(quick: bool, jobs: int) -> Dict[str, object]:
+def bench_allocator(quick: bool) -> Dict[str, object]:
+    """Vectorized exhaustive allocator vs the per-candidate Python sweep.
+
+    The synthetic problem is sized so the candidate sweep — the part the
+    vectorization removes — dominates: a moderate budget keeps the shared
+    greedy refinement cheap while deep caps (4096) give the reference
+    thousands of candidate times to probe one by one.
+    """
+    from repro.allocation.baselines import (
+        exhaustive_allocation,
+        exhaustive_allocation_reference,
+    )
+    from repro.allocation.problem import AllocationProblem
+
+    num_stages = 64
+    rng = np.random.default_rng(42)
+    problem = AllocationProblem(
+        stage_names=[f"S{i}" for i in range(num_stages)],
+        times_ns=rng.uniform(100.0, 50000.0, num_stages),
+        crossbars_per_replica=rng.integers(8, 65, num_stages),
+        budget=1024,
+        replica_caps=np.full(num_stages, 4096, dtype=np.int64),
+        num_microbatches=32,
+    )
+    repeats = 1 if quick else 3
+    vec = best_of(lambda: exhaustive_allocation(problem), repeats)
+    ref = best_of(lambda: exhaustive_allocation_reference(problem), repeats)
+    a = exhaustive_allocation(problem)
+    b = exhaustive_allocation_reference(problem)
+    if not np.array_equal(a.replicas, b.replicas):
+        raise AssertionError(
+            "vectorized exhaustive allocation diverged from the reference"
+        )
+    return {
+        "num_stages": num_stages,
+        "budget": problem.budget,
+        "replica_cap": 4096,
+        "vectorized_s": vec,
+        "reference_s": ref,
+        "speedup": ref / vec,
+        "bit_identical": True,
+        "makespan_ns": a.makespan_ns,
+    }
+
+
+def bench_sweep(
+    quick: bool, jobs: int, phases_path: Optional[str] = None,
+) -> Dict[str, object]:
     """End-to-end quick experiment sweep, serial vs scheduled pool."""
     from repro.experiments.harness import combine_markdown
     from repro.experiments.registry import WALL_CLOCK_EXPERIMENTS, run_all
     from repro.experiments.sweep import load_wall_times, wall_time_key
+    from repro.perf import profile
 
     only = QUICK_SWEEP_IDS if quick else None
     # Warm the in-process caches so both timings measure scheduling; the
     # warm run also records per-experiment durations, so the parallel
     # run below schedules longest-first from measured times.
     run_all(quick=True, only=only, jobs=1)
+    phase_log: Dict[str, dict] = {}
     start = time.perf_counter()
-    serial = run_all(quick=True, only=only, jobs=1)
+    serial = run_all(quick=True, only=only, jobs=1, phase_log=phase_log)
     serial_s = time.perf_counter() - start
     start = time.perf_counter()
     parallel = run_all(quick=True, only=only, jobs=jobs)
@@ -271,6 +331,14 @@ def bench_sweep(quick: bool, jobs: int) -> Dict[str, object]:
         total = sum(known)
         bound = max(max(known), total / jobs)
         lpt_bound = total / bound if bound > 0 else None
+
+    phase_report = profile.phase_report(
+        serial_s, per_experiment=phase_log, quick=True,
+    )
+    if phases_path:
+        profile.write_phase_report(
+            phases_path, serial_s, per_experiment=phase_log, quick=True,
+        )
     return {
         "experiments": len(serial),
         "jobs": jobs,
@@ -282,6 +350,8 @@ def bench_sweep(quick: bool, jobs: int) -> Dict[str, object]:
         "lpt_bound_speedup": lpt_bound,
         "per_experiment_s": durations,
         "byte_identical": identical,
+        "phase_coverage": phase_report["coverage"],
+        "phases": phase_report["phases"],
     }
 
 
@@ -296,6 +366,11 @@ def main(argv=None) -> int:
                                              "BENCH_hotpaths.json"))
     parser.add_argument("--jobs", type=int,
                         default=min(4, visible_cpus()))
+    parser.add_argument("--phases",
+                        default=os.path.join(REPO_ROOT,
+                                             "BENCH_phases.json"),
+                        help="phase-attribution report for the serial "
+                             "sweep run (empty string disables)")
     args = parser.parse_args(argv)
 
     report = {
@@ -304,13 +379,15 @@ def main(argv=None) -> int:
         "spmm": bench_spmm(args.quick),
         "simulator": bench_simulator(args.quick),
         "functional": bench_functional(args.quick),
-        "sweep": bench_sweep(args.quick, args.jobs),
+        "allocator": bench_allocator(args.quick),
+        "sweep": bench_sweep(args.quick, args.jobs, args.phases or None),
     }
     failures = []
     for name, target, quick_target in (
         ("spmm", 3.0, None),
         ("simulator", 5.0, None),
         ("functional", 20.0, 5.0),
+        ("allocator", 10.0, 10.0),
     ):
         section = report[name]
         print(f"{name:<10} {section['speedup']:8.1f}x "
@@ -330,10 +407,16 @@ def main(argv=None) -> int:
           f"(serial {sweep['serial_s']:6.2f} s, "
           f"jobs={sweep['jobs']} {sweep['parallel_s']:6.2f} s, "
           f"cpus={sweep['cpus']}, lpt-bound {bound_str}, "
-          f"byte-identical: {sweep['byte_identical']})")
+          f"byte-identical: {sweep['byte_identical']}, "
+          f"phase-coverage {sweep['phase_coverage']:.0%})")
     if not sweep["byte_identical"]:
         print("  ERROR: parallel sweep diverged from serial output")
         return 1
+    if args.quick and sweep["phase_coverage"] < 0.75:
+        failures.append(
+            f"phase coverage {sweep['phase_coverage']:.0%} is below the "
+            "75% regression guard"
+        )
     if args.quick:
         # On one CPU a process pool cannot beat serial; only bounded
         # overhead is checkable.  With real parallelism available the

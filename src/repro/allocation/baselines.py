@@ -17,12 +17,13 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.allocation.greedy import greedy_allocation
 from repro.allocation.problem import AllocationProblem, AllocationResult
+from repro.perf import profile
 
 
 def serial_allocation(problem: AllocationProblem) -> AllocationResult:
@@ -111,8 +112,161 @@ def combination_only_allocation(problem: AllocationProblem) -> AllocationResult:
     )
 
 
+def _candidate_times(problem: AllocationProblem, floors: np.ndarray) -> set:
+    """Candidate bottleneck times: each stage's time at sampled replicas.
+
+    Replica counts are sampled geometrically to bound the sweep size —
+    the identical set both the reference and the vectorized optimiser
+    sweep.
+    """
+    # The geometric sample 1, 2, 3, ... r*1.1 ... depends only on the cap,
+    # so one sequence up to the largest cap serves every stage.
+    max_cap = int(problem.replica_caps.max())
+    seq = []
+    r = 1
+    while r <= max_cap:
+        seq.append(r)
+        r = max(r + 1, int(r * 1.1))
+    counts = np.array(seq, dtype=np.int64)
+
+    candidates = set()
+    for stage in range(problem.num_stages):
+        cap = int(problem.replica_caps[stage])
+        base = problem.times_ns[stage]
+        stage_counts = counts[counts <= cap]
+        candidates.update((base / stage_counts + floors[stage]).tolist())
+        candidates.add(float(base / cap + floors[stage]))
+    return candidates
+
+
+def _refine_and_keep_best(
+    problem: AllocationProblem,
+    base_replicas: np.ndarray,
+    cost: int,
+    best: AllocationResult,
+    best_makespan: float,
+):
+    """Spend the leftover budget with the greedy; keep a strict improvement."""
+    sub_problem = AllocationProblem(
+        stage_names=problem.stage_names,
+        times_ns=problem.times_ns / base_replicas,
+        crossbars_per_replica=problem.crossbars_per_replica,
+        budget=problem.budget - cost,
+        replica_caps=np.maximum(
+            1, problem.replica_caps // np.maximum(base_replicas, 1)
+        ),
+        num_microbatches=problem.num_microbatches,
+        fixed_floors_ns=problem.fixed_floors_ns,
+    )
+    refined = greedy_allocation(sub_problem, include_max_bonus=True)
+    # Compose additively: each extra replica bought in the sub-problem
+    # costs the same X, so the combined cost never exceeds the budget.
+    combined = np.minimum(
+        base_replicas + (refined.replicas - 1), problem.replica_caps,
+    )
+    candidate = AllocationResult(
+        problem=problem, replicas=combined, strategy="exhaustive",
+    )
+    if candidate.makespan_ns < best_makespan:
+        return candidate, candidate.makespan_ns
+    return best, best_makespan
+
+
+@profile.phase(profile.PHASE_ALLOCATION)
 def exhaustive_allocation(problem: AllocationProblem) -> AllocationResult:
-    """T_max-sweep optimiser (dynamic-programming stand-in).
+    """T_max-sweep optimiser (dynamic-programming stand-in), vectorized.
+
+    Equivalent to :func:`exhaustive_allocation_reference` — verified
+    bit-identical by ``tests/allocation/test_exhaustive_vectorized.py`` —
+    but structured around three observations:
+
+    1. ``required = ceil(times / (t_max - floors))`` for every candidate
+       and stage is one broadcast over the ``(candidates, stages)`` grid,
+       not a Python double loop.
+    2. Feasibility is monotone in ``t_max`` (smaller targets need more
+       replicas, higher cost), so the feasibility frontier is found by
+       bisection over the descending candidate array instead of probing
+       every infeasible candidate.
+    3. The greedy refinement of a candidate depends only on its base
+       replica vector, and many candidate times round to the same vector
+       — deduplicating rows (keeping first-seen, i.e. largest-``t_max``,
+       order) skips redundant greedy runs without changing which strict
+       improvement wins.
+    """
+    floors = (
+        problem.fixed_floors_ns
+        if problem.fixed_floors_ns is not None
+        else np.zeros(problem.num_stages)
+    )
+    cand = np.array(
+        sorted(_candidate_times(problem, floors), reverse=True),
+    )
+    times = problem.times_ns
+    caps = problem.replica_caps
+    costs = problem.crossbars_per_replica
+    active = times > 0  # stages with no work keep a single replica
+
+    def feasible_replicas(t_max: float) -> Optional[np.ndarray]:
+        """Base replica vector for one candidate, or None if infeasible."""
+        available = t_max - floors
+        if np.any(active & (available <= 0)):
+            return None
+        required = np.ones(problem.num_stages, dtype=np.float64)
+        with np.errstate(divide="ignore", over="ignore"):
+            required[active] = np.ceil(times[active] / available[active])
+        if np.any(required > caps):
+            return None
+        replicas = required.astype(np.int64)
+        if int(((replicas - 1) * costs).sum()) > problem.budget:
+            return None
+        return replicas
+
+    best: AllocationResult = serial_allocation(problem)
+    best_makespan = best.makespan_ns
+    if cand.size and feasible_replicas(cand[0]) is not None:
+        # Bisect the feasibility frontier: cand[0] (the largest target)
+        # is always feasible, and feasibility is monotone, so the
+        # feasible prefix is cand[:frontier + 1].
+        lo, hi = 0, cand.size - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if feasible_replicas(cand[mid]) is not None:
+                lo = mid
+            else:
+                hi = mid - 1
+        frontier = lo
+
+        feasible_cand = cand[:frontier + 1]
+        # The whole candidates x stages grid in one broadcast.
+        available = feasible_cand[:, None] - floors[None, :]
+        required = np.ones(
+            (feasible_cand.size, problem.num_stages), dtype=np.float64,
+        )
+        grid = np.broadcast_to(times, required.shape)
+        ratio = np.empty_like(required)
+        np.divide(grid, available, out=ratio, where=active[None, :])
+        np.ceil(ratio, out=required, where=active[None, :])
+        replica_rows = required.astype(np.int64)
+        row_costs = ((replica_rows - 1) * costs[None, :]).sum(axis=1)
+
+        # Dedupe identical base vectors, preserving first-seen order.
+        _, first_seen = np.unique(replica_rows, axis=0, return_index=True)
+        for index in np.sort(first_seen):
+            best, best_makespan = _refine_and_keep_best(
+                problem, replica_rows[index], int(row_costs[index]),
+                best, best_makespan,
+            )
+    if best.strategy != "exhaustive":
+        best = AllocationResult(
+            problem=problem, replicas=best.replicas, strategy="exhaustive",
+        )
+    return best
+
+
+def exhaustive_allocation_reference(
+    problem: AllocationProblem,
+) -> AllocationResult:
+    """The original Python-loop T_max sweep (equivalence oracle).
 
     For every candidate bottleneck time (each stage's time at each feasible
     replica count), compute the cheapest assignment achieving it, spend any
@@ -160,29 +314,9 @@ def exhaustive_allocation(problem: AllocationProblem) -> AllocationResult:
         if cost > problem.budget:
             continue
         # Spend the leftover on the plain sum-term greedy.
-        sub_problem = AllocationProblem(
-            stage_names=problem.stage_names,
-            times_ns=problem.times_ns / replicas,
-            crossbars_per_replica=problem.crossbars_per_replica,
-            budget=problem.budget - cost,
-            replica_caps=np.maximum(
-                1, problem.replica_caps // np.maximum(replicas, 1)
-            ),
-            num_microbatches=problem.num_microbatches,
-            fixed_floors_ns=problem.fixed_floors_ns,
+        best, best_makespan = _refine_and_keep_best(
+            problem, replicas, cost, best, best_makespan,
         )
-        refined = greedy_allocation(sub_problem, include_max_bonus=True)
-        # Compose additively: each extra replica bought in the sub-problem
-        # costs the same X, so the combined cost never exceeds the budget.
-        combined = np.minimum(
-            replicas + (refined.replicas - 1), problem.replica_caps,
-        )
-        candidate = AllocationResult(
-            problem=problem, replicas=combined, strategy="exhaustive",
-        )
-        if candidate.makespan_ns < best_makespan:
-            best_makespan = candidate.makespan_ns
-            best = candidate
     if best.strategy != "exhaustive":
         best = AllocationResult(
             problem=problem, replicas=best.replicas, strategy="exhaustive",

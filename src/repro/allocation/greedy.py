@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.allocation.heap import IndexedMaxHeap
+from repro.allocation.heap import FlatMaxKeys, IndexedMaxHeap
 from repro.allocation.problem import AllocationProblem, AllocationResult
+from repro.perf import profile
 
 
 def _marginal_time_gain(problem: AllocationProblem, stage: int, replicas: int) -> float:
@@ -36,37 +37,50 @@ def _marginal_time_gain(problem: AllocationProblem, stage: int, replicas: int) -
     return base / replicas - base / (replicas + 1)
 
 
+@profile.phase(profile.PHASE_ALLOCATION)
 def greedy_allocation(
     problem: AllocationProblem,
     include_max_bonus: bool = True,
+    heap_cls: type = FlatMaxKeys,
 ) -> AllocationResult:
     """Run Algorithm 1 and return the replica assignment.
 
     ``include_max_bonus=False`` drops the ``(B-1) * T_max`` term from the
     adjust values (used by the exhaustive baseline's refinement step and
     by ablation benchmarks).
+
+    ``heap_cls`` selects the priority store: :class:`FlatMaxKeys`
+    (default) and :class:`IndexedMaxHeap` implement the same total order
+    ``(key, -insertion_order)``, so the decision sequence — and therefore
+    the returned allocation — is identical for both (asserted by
+    ``tests/allocation/test_greedy_stores.py``); the flat store is much
+    faster at the allocator's stage counts.
     """
     n = problem.num_stages
-    replicas = np.ones(n, dtype=np.int64)
-    budget = problem.budget
+    # Python scalars throughout the loop: element-wise numpy indexing and
+    # numpy scalar arithmetic dominate the original profile, and IEEE
+    # float64 ops give bit-identical results either way.
+    replicas = [1] * n
+    budget = int(problem.budget)
+    times = problem.times_ns.tolist()
     floors = (
-        problem.fixed_floors_ns
+        problem.fixed_floors_ns.tolist()
         if problem.fixed_floors_ns is not None
-        else np.zeros(n)
+        else [0.0] * n
     )
+    caps = problem.replica_caps.tolist()
+    costs = problem.crossbars_per_replica.tolist()
 
-    def effective_time(stage: int) -> float:
-        return problem.times_ns[stage] / replicas[stage] + floors[stage]
-
-    heap_v = IndexedMaxHeap()
-    heap_p = IndexedMaxHeap()
-    costs = problem.crossbars_per_replica
+    heap_v = heap_cls()
+    heap_p = heap_cls()
     for stage in range(n):
-        gain = _marginal_time_gain(problem, stage, 1)
+        base = times[stage]
+        gain = 0.0 if caps[stage] <= 1 else base - base / 2
         heap_v.push(gain / costs[stage], stage)
-        heap_p.push(effective_time(stage), stage)
+        heap_p.push(base + floors[stage], stage)
 
     b_minus_1 = problem.num_microbatches - 1
+    use_bonus = include_max_bonus and b_minus_1 > 0
     unaffordable: set = set()
     while budget > 0:
         # Candidate A: best plain adjust value.
@@ -74,15 +88,17 @@ def greedy_allocation(
         # Candidate B: the longest stage, whose replica also cuts T_max.
         chosen = stage_a
         chosen_value = value_a
-        if include_max_bonus and b_minus_1 > 0:
+        if use_bonus:
             _, stage_p = heap_p.top()
-            gain_p = _marginal_time_gain(problem, stage_p, int(replicas[stage_p]))
+            count_p = replicas[stage_p]
+            base_p = times[stage_p]
+            gain_p = (
+                base_p / count_p - base_p / (count_p + 1)
+                if count_p < caps[stage_p] else 0.0
+            )
             if gain_p > 0 and stage_p not in unaffordable:
-                old_max = effective_time(stage_p)
-                new_time = (
-                    problem.times_ns[stage_p] / (replicas[stage_p] + 1)
-                    + floors[stage_p]
-                )
+                old_max = base_p / count_p + floors[stage_p]
+                new_time = base_p / (count_p + 1) + floors[stage_p]
                 second = heap_p.max_excluding(stage_p)
                 delta_max = max(0.0, old_max - max(new_time, second))
                 value_p = (gain_p + b_minus_1 * delta_max) / costs[stage_p]
@@ -92,27 +108,36 @@ def greedy_allocation(
 
         if chosen_value <= 0.0:
             break  # nobody can improve (caps reached)
-        if costs[chosen] > budget:
+        cost = costs[chosen]
+        if cost > budget:
             # Cannot afford the best stage any more; permanently disable it
             # and retry with the rest.
             unaffordable.add(chosen)
             heap_v.update(chosen, 0.0)
-            if _all_disabled(heap_v):
+            if heap_v.top()[0] <= 0.0:
                 break
             continue
 
-        replicas[chosen] += 1
-        budget -= int(costs[chosen])
-        new_gain = _marginal_time_gain(problem, chosen, int(replicas[chosen]))
-        affordable = costs[chosen] <= budget
-        heap_v.update(
-            chosen, new_gain / costs[chosen] if affordable else 0.0,
+        count = replicas[chosen] + 1
+        replicas[chosen] = count
+        budget -= cost
+        base_c = times[chosen]
+        new_gain = (
+            base_c / count - base_c / (count + 1)
+            if count < caps[chosen] else 0.0
         )
-        heap_p.update(chosen, effective_time(chosen))
-        if _all_disabled(heap_v):
+        heap_v.update(
+            chosen, new_gain / cost if cost <= budget else 0.0,
+        )
+        heap_p.update(chosen, base_c / count + floors[chosen])
+        if heap_v.top()[0] <= 0.0:
             break
 
-    return AllocationResult(problem=problem, replicas=replicas, strategy="gopim-greedy")
+    return AllocationResult(
+        problem=problem,
+        replicas=np.array(replicas, dtype=np.int64),
+        strategy="gopim-greedy",
+    )
 
 
 def _all_disabled(heap_v: IndexedMaxHeap) -> bool:

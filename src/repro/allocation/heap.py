@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+import numpy as _np
+
 from repro.errors import AllocationError
 
 
@@ -165,3 +167,91 @@ class IndexedMaxHeap:
             if self._heap[index][2] is not item and self._heap[index][2] != item:
                 return False
         return True
+
+
+class FlatMaxKeys:
+    """Array-backed replacement for the heap operations Algorithm 1 uses.
+
+    :class:`IndexedMaxHeap` orders entries by the strict total order
+    ``(key, -insertion_order)``, so ``top()`` and ``max_excluding()`` are
+    *functions of the key assignment alone* — any store that answers the
+    same queries under the same order is decision-identical.  For the
+    allocator's small stage counts (tens of stages), a flat numpy key
+    array with ``argmax`` (which returns the first — i.e. earliest
+    inserted — maximum, matching the heap's tie-break) beats the pure
+    Python sift loops by a wide margin: O(1) updates and one vectorized
+    scan per query instead of O(log n) Python calls per mutation.
+
+    Supports the subset of the heap API the greedy needs: ``push``,
+    ``top``, ``update``, ``max_excluding``, ``key_of``, ``__len__``.
+    Items must be hashable and unique, exactly as for the heap.
+    """
+
+    def __init__(self, entries: Optional[Iterable[Tuple[float, object]]] = None) -> None:
+        self._keys = _np.empty(8, dtype=_np.float64)
+        self._items: List[object] = []
+        self._pos: Dict[object, int] = {}
+        if entries is not None:
+            for key, item in entries:
+                self.push(key, item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._pos
+
+    def push(self, key: float, item: object) -> None:
+        """Insert a new item with the given key."""
+        if item in self._pos:
+            raise AllocationError(f"item {item!r} already in heap")
+        size = len(self._items)
+        if size == self._keys.size:
+            grown = _np.empty(2 * size, dtype=_np.float64)
+            grown[:size] = self._keys
+            self._keys = grown
+        self._keys[size] = key
+        self._items.append(item)
+        self._pos[item] = size
+
+    def top(self) -> Tuple[float, object]:
+        """The (key, item) pair maximal under ``(key, -insertion order)``."""
+        size = len(self._items)
+        if not size:
+            raise AllocationError("heap is empty")
+        keys = self._keys
+        slot = keys[:size].argmax()
+        return keys[slot], self._items[slot]
+
+    def key_of(self, item: object) -> float:
+        """Current key of ``item``."""
+        slot = self._pos.get(item)
+        if slot is None:
+            raise AllocationError(f"item {item!r} not in heap")
+        return float(self._keys[slot])
+
+    def update(self, item: object, new_key: float) -> None:
+        """Change ``item``'s key (O(1))."""
+        slot = self._pos.get(item)
+        if slot is None:
+            raise AllocationError(f"item {item!r} not in heap")
+        self._keys[slot] = new_key
+
+    def max_excluding(self, item: object, default: float = 0.0) -> float:
+        """Largest key among entries other than ``item``, floored at
+        ``default`` — same contract as the heap's method."""
+        slot = self._pos.get(item)
+        if slot is None:
+            raise AllocationError(f"item {item!r} not in heap")
+        size = len(self._items)
+        if size == 1:
+            return default
+        keys = self._keys[:size]
+        best_slot = keys.argmax()
+        if best_slot != slot:
+            return max(default, keys[best_slot])
+        saved = keys[slot]
+        keys[slot] = -_np.inf
+        second = keys.max()
+        keys[slot] = saved
+        return max(default, second)

@@ -151,17 +151,29 @@ def _execute(task: Tuple[str, dict]) -> ExperimentResult:
     return run_experiment(experiment_id, **overrides)
 
 
-def _execute_timed(task: Tuple[str, dict]) -> Tuple[ExperimentResult, float]:
-    """:func:`_execute` plus its wall time (the LPT scheduler's input)."""
+def _execute_timed(
+    task: Tuple[str, dict],
+) -> Tuple[ExperimentResult, float, Dict[str, Dict[str, float]]]:
+    """:func:`_execute` plus wall time and its phase-attributed profile.
+
+    The wall time feeds the LPT scheduler; the phase delta (snapshot
+    before/after, so inherited fork history cancels out) feeds
+    ``BENCH_phases.json``.
+    """
+    from repro.perf import profile
+
+    before = profile.snapshot()
     start = time.perf_counter()
     result = _execute(task)
-    return result, time.perf_counter() - start
+    seconds = time.perf_counter() - start
+    return result, seconds, profile.since(before)
 
 
 def run_all(
     quick: bool = False,
     only: Optional[Sequence[str]] = None,
     jobs: int = 1,
+    phase_log: Optional[Dict[str, dict]] = None,
 ) -> List[ExperimentResult]:
     """Run every registered experiment (registry order).
 
@@ -178,6 +190,11 @@ def run_all(
         longest experiments first, shared warm caches — with results
         returned in registry order and content identical to a serial
         run.
+    phase_log:
+        Optional dict filled with each experiment's profile:
+        ``{id: {"wall_s": seconds, "phases": {phase: {"seconds",
+        "calls"}}}}`` — the per-experiment half of
+        ``profile.phase_report``.
 
     Both paths record per-experiment wall times so later parallel runs
     schedule longest-first from measured durations.
@@ -196,9 +213,13 @@ def run_all(
         results = []
         durations = {}
         for task in tasks:
-            result, seconds = _execute_timed(task)
+            result, seconds, phases = _execute_timed(task)
             results.append(result)
             durations[sweep.wall_time_key(task[0], quick)] = seconds
+            if phase_log is not None:
+                phase_log[task[0]] = {"wall_s": seconds, "phases": phases}
         sweep.record_wall_times(durations)
         return results
-    return sweep.run_scheduled(tasks, jobs, quick, _execute_timed)
+    return sweep.run_scheduled(
+        tasks, jobs, quick, _execute_timed, phase_log=phase_log,
+    )

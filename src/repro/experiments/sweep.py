@@ -203,13 +203,15 @@ def run_scheduled(
     tasks: Sequence[Tuple[str, dict]],
     jobs: int,
     quick: bool,
-    execute: Callable[[Tuple[str, dict]], Tuple[object, float]],
+    execute: Callable[[Tuple[str, dict]], Tuple[object, float, dict]],
+    phase_log: Optional[Dict[str, dict]] = None,
 ) -> List[object]:
     """Fan ``tasks`` out over a worker pool, longest jobs first.
 
-    ``execute`` must return ``(result, seconds)``; measured durations
-    feed the next run's LPT ordering.  Results come back in *task*
-    order, regardless of scheduling.
+    ``execute`` must return ``(result, seconds, phases)``; measured
+    durations feed the next run's LPT ordering, and the per-experiment
+    phase profiles fill ``phase_log`` (same shape as the serial path's).
+    Results come back in *task* order, regardless of scheduling.
     """
     own_cache_tier = not os.environ.get(ENV_DISK_CACHE, "").strip()
     if own_cache_tier:
@@ -232,9 +234,13 @@ def run_scheduled(
                 for index in order
             ]
             for index, future in futures:
-                result, seconds = future.result()
+                result, seconds, phases = future.result()
                 results[index] = result
                 durations[wall_time_key(tasks[index][0], quick)] = seconds
+                if phase_log is not None:
+                    phase_log[tasks[index][0]] = {
+                        "wall_s": seconds, "phases": phases,
+                    }
         record_wall_times(durations)
         return results
     finally:

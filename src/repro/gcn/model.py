@@ -103,6 +103,9 @@ class GCN:
         self._dropout = dropout
         self._analog_noise = analog_noise_sigma
         self._rng = np.random.default_rng(random_state)
+        # Reused scratch for dropout draws (one buffer per hidden shape);
+        # drawing into it consumes the same RNG stream as a fresh array.
+        self._dropout_scratch: Dict[Tuple[int, int], np.ndarray] = {}
         self.params: Params = {}
         for i, (d_in, d_out) in enumerate(self._dims):
             scale = np.sqrt(2.0 / (d_in + d_out))
@@ -114,6 +117,16 @@ class GCN:
     def num_layers(self) -> int:
         """Model depth L."""
         return len(self._dims)
+
+    @property
+    def dropout(self) -> float:
+        """Hidden-activation drop probability."""
+        return self._dropout
+
+    @property
+    def analog_noise_sigma(self) -> float:
+        """Relative analog MVM noise (0.0 = ideal hardware)."""
+        return self._analog_noise
 
     @property
     def layer_dims(self) -> List[Tuple[int, int]]:
@@ -173,9 +186,13 @@ class GCN:
                 hidden = aggregated * mask
                 cache["masks"].append(mask)
                 if training and self._dropout > 0:
-                    keep = (
-                        self._rng.random(hidden.shape) >= self._dropout
-                    ).astype(np.float32) / (1.0 - self._dropout)
+                    scratch = self._dropout_scratch.get(hidden.shape)
+                    if scratch is None:
+                        scratch = np.empty(hidden.shape, dtype=np.float64)
+                        self._dropout_scratch[hidden.shape] = scratch
+                    self._rng.random(out=scratch)
+                    keep = (scratch >= self._dropout).astype(np.float32)
+                    keep /= (1.0 - self._dropout)
                     hidden = hidden * keep
                     cache["dropout"].append(keep)
                 else:

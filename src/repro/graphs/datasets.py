@@ -31,6 +31,7 @@ from repro.errors import GraphError
 from repro.graphs.generators import RandomState, _rng, dc_sbm_graph
 from repro.graphs.graph import Graph
 from repro.perf import cache_key, get_cache
+from repro.perf import profile
 
 
 @dataclass(frozen=True)
@@ -221,6 +222,7 @@ def load_dataset(
     return _generate_dataset_graph(spec, random_state, scale)
 
 
+@profile.phase(profile.PHASE_DATASET)
 def _generate_dataset_graph(
     spec: DatasetSpec,
     random_state: RandomState,

@@ -138,6 +138,30 @@ def wear_levelled_rates(
         raise ConfigError("rotation_period_epochs must be >= 1")
     rates = rows_written_per_epoch(plan)
     mapping = plan.mapping
+    # Segment means via bincount: sum and count each crossbar's rates in
+    # two O(N) passes, then gather — replaces the per-crossbar Python
+    # loop (equivalence: tests/hardware/test_endurance_vectorized.py).
+    groups = mapping.crossbar_of
+    counts = np.bincount(groups, minlength=mapping.num_crossbars)
+    sums = np.bincount(groups, weights=rates, minlength=mapping.num_crossbars)
+    means = sums / np.maximum(counts, 1)  # empty crossbars are never read
+    return means[groups] + 1.0 / rotation_period_epochs
+
+
+def wear_levelled_rates_reference(
+    plan: UpdatePlan,
+    rotation_period_epochs: int = 100,
+) -> np.ndarray:
+    """Per-crossbar-mean loop form of :func:`wear_levelled_rates`.
+
+    Retained as the equivalence oracle; ``np.mean`` uses pairwise
+    summation while ``bincount`` sums sequentially, so agreement is
+    allclose-level rather than bit-level.
+    """
+    if rotation_period_epochs < 1:
+        raise ConfigError("rotation_period_epochs must be >= 1")
+    rates = rows_written_per_epoch(plan)
+    mapping = plan.mapping
     levelled = np.empty_like(rates)
     for crossbar in range(mapping.num_crossbars):
         members = mapping.vertices_on(crossbar)

@@ -27,6 +27,7 @@ from repro.graphs.graph import Graph
 from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
 from repro.hardware.crossbar import CrossbarStats
 from repro.hardware.engine import MappedMatrix, segment_leftfold_sum
+from repro.perf import profile
 
 
 class FunctionalGCN:
@@ -93,6 +94,7 @@ class FunctionalGCN:
         return self._weights[layer]
 
     # ------------------------------------------------------------------
+    @profile.phase(profile.PHASE_FUNCTIONAL)
     def forward(self, graph: Graph, features: np.ndarray) -> np.ndarray:
         """Full forward pass on hardware; returns the output embeddings.
 

@@ -34,6 +34,7 @@ from repro.mapping.vertex_map import (
     index_mapping,
     interleaved_mapping,
 )
+from repro.perf import profile
 
 DENSE_DEGREE_THRESHOLD = 8.0
 DENSE_THETA = 0.5
@@ -119,6 +120,7 @@ class UpdatePlan:
         return (n + (period - 1) * k) / period
 
 
+@profile.phase(profile.PHASE_MAPPING)
 def build_update_plan(
     graph: Graph,
     strategy: str = "isu",

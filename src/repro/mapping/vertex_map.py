@@ -24,6 +24,7 @@ import numpy as np
 from repro.errors import MappingError
 from repro.graphs.graph import Graph
 from repro.graphs.sparsify import degree_rank
+from repro.perf import profile
 
 
 @dataclass(frozen=True)
@@ -113,6 +114,7 @@ def index_mapping(
     )
 
 
+@profile.phase(profile.PHASE_MAPPING)
 def interleaved_mapping(
     graph: Graph,
     rows_per_crossbar: int = 64,
@@ -140,6 +142,54 @@ def interleaved_mapping(
     rng = np.random.default_rng(random_state)
 
     order = degree_rank(graph)  # descending degree, deterministic ties
+    scope_size = -(-num_vertices // scopes)
+    # Concatenate the shuffled scopes into the global dealing order (the
+    # per-scope permutation draws must stay separate calls so the RNG
+    # stream matches the reference exactly).
+    dealt = np.empty(num_vertices, dtype=np.int64)
+    for scope_start in range(0, num_vertices, scope_size):
+        members = order[scope_start:scope_start + scope_size]
+        dealt[scope_start:scope_start + members.size] = (
+            members[rng.permutation(members.size)]
+        )
+    # Pure round-robin never meets a full crossbar: crossbar j is probed
+    # for the r-th time at deal position (r-1)*C + j, and its capacity
+    # probe at r = rows_per_crossbar lands at position >= rows*C >= N —
+    # past the end.  So deal position i maps to crossbar i mod C,
+    # wordline i div C, with no occupancy bookkeeping
+    # (byte-identity: tests/mapping/test_interleaved_vectorized.py).
+    slots = np.arange(num_vertices, dtype=np.int64)
+    crossbar_of = np.empty(num_vertices, dtype=np.int64)
+    wordline_of = np.empty(num_vertices, dtype=np.int64)
+    crossbar_of[dealt] = slots % num_crossbars
+    wordline_of[dealt] = slots // num_crossbars
+    return VertexMapping(
+        crossbar_of=crossbar_of,
+        wordline_of=wordline_of,
+        num_crossbars=num_crossbars,
+        rows_per_crossbar=rows_per_crossbar,
+        strategy="interleaved",
+    )
+
+
+def interleaved_mapping_reference(
+    graph: Graph,
+    rows_per_crossbar: int = 64,
+    num_scopes: Optional[int] = None,
+    random_state: int = 0,
+) -> VertexMapping:
+    """Dealing-loop form of :func:`interleaved_mapping` (byte-identical
+    equivalence oracle, including the skip-full-crossbar probe the
+    vectorized form proves dead)."""
+    num_vertices = graph.num_vertices
+    _validate(num_vertices, rows_per_crossbar)
+    num_crossbars = -(-num_vertices // rows_per_crossbar)
+    scopes = num_scopes if num_scopes is not None else rows_per_crossbar
+    if scopes < 1:
+        raise MappingError("num_scopes must be >= 1")
+    rng = np.random.default_rng(random_state)
+
+    order = degree_rank(graph)
     scope_size = -(-num_vertices // scopes)
     crossbar_of = np.empty(num_vertices, dtype=np.int64)
     wordline_of = np.empty(num_vertices, dtype=np.int64)

@@ -1,4 +1,9 @@
-"""Performance subsystem: content-keyed caching of derived artifacts.
+"""Performance subsystem: artifact caching and phase-attributed profiling.
+
+:mod:`repro.perf.profile` is the always-on phase timer that attributes
+experiment wall time to named phases (dataset generation, GCN training,
+predictor fit, allocation search, timing model, functional sim, vertex
+mapping); the sweep driver aggregates it into ``BENCH_phases.json``.
 
 See :mod:`repro.perf.cache` for the cache itself.  Consumers:
 
@@ -14,6 +19,7 @@ artifacts on disk across processes and runs; ``REPRO_CACHE_MAX_MB``
 caps that disk tier (LRU-by-mtime eviction).
 """
 
+from repro.perf import profile
 from repro.perf.cache import (
     DEFAULT_DISK_CACHE_MAX_MB,
     ENV_DISK_CACHE,
@@ -38,4 +44,5 @@ __all__ = [
     "clear_cache",
     "get_cache",
     "memoized",
+    "profile",
 ]

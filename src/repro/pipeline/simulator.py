@@ -31,6 +31,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.errors import PipelineError
+from repro.perf import profile
 
 
 class ScheduleMode(enum.Enum):
@@ -103,6 +104,7 @@ def _validate_times(times_ns: np.ndarray) -> np.ndarray:
     return times
 
 
+@profile.phase(profile.PHASE_TIMING)
 def simulate_pipeline(
     times_ns: np.ndarray,
     mode: ScheduleMode = ScheduleMode.INTRA_INTER,

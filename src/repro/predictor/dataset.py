@@ -21,6 +21,7 @@ from repro.perf import cache_key, get_cache
 from repro.predictor.features import stage_samples
 from repro.stages.latency import StageTimingModel
 from repro.stages.workload import Workload
+from repro.perf import profile
 
 
 @dataclass(frozen=True)
@@ -110,6 +111,7 @@ def generate_dataset(
     return _generate(num_samples, random_state, noise_sigma)
 
 
+@profile.phase(profile.PHASE_DATASET)
 def _generate(
     num_samples: int,
     random_state: RandomState,

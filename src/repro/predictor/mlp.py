@@ -103,6 +103,92 @@ class MLPRegressor(Regressor):
         v_w = [np.zeros_like(w) for w in self._weights]
         m_b = [np.zeros_like(b) for b in self._biases]
         v_b = [np.zeros_like(b) for b in self._biases]
+        # Per-parameter scratch for the Adam update: the reference spends
+        # a surprising share of fit time allocating its ~10 temporaries
+        # per parameter per step.  Every in-place expression below applies
+        # the same IEEE ops in the same order as the reference, so the
+        # fitted weights are bit-identical
+        # (tests/predictor/test_mlp_fastpath.py).
+        scratch = [
+            (np.empty_like(p), np.empty_like(p))
+            for p in (*self._weights, *self._biases)
+        ]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        self.loss_history = []
+
+        n = x.shape[0]
+        # All epoch shuffles as one (epochs, n) matrix up front — the RNG
+        # stream consumes the identical sequence of permutation draws, and
+        # no other draw happens after initialisation.
+        orders = np.stack([rng.permutation(n) for _ in range(self._epochs)])
+        num_layers = len(self._weights)
+        params = (*self._weights, *self._biases)
+        moments1 = (*m_w, *m_b)
+        moments2 = (*v_w, *v_b)
+        for epoch in range(self._epochs):
+            order = orders[epoch]
+            epoch_loss = 0.0
+            for start in range(0, n, self._batch_size):
+                batch = order[start:start + self._batch_size]
+                xb, yb = x[batch], targets[batch]
+                pred, acts = self._forward(xb)
+                err = pred.ravel() - yb
+                epoch_loss += float((err ** 2).sum())
+
+                # Backprop through the MSE head.
+                grad = (2.0 / xb.shape[0]) * err[:, None]
+                grads: List[np.ndarray] = [None] * (2 * num_layers)
+                for layer in range(num_layers - 1, -1, -1):
+                    grads[layer] = (
+                        acts[layer].T @ grad + self._decay * self._weights[layer]
+                    )
+                    grads[num_layers + layer] = grad.sum(axis=0)
+                    if layer > 0:
+                        grad = grad @ self._weights[layer].T
+                        grad = grad * (acts[layer] > 0)
+
+                step += 1
+                correction1 = 1 - beta1 ** step
+                correction2 = 1 - beta2 ** step
+                for param, m, v, g, (num, den) in zip(
+                    params, moments1, moments2, grads, scratch,
+                ):
+                    # m = beta1 * m + (1 - beta1) * g, in place.
+                    np.multiply(m, beta1, out=m)
+                    np.multiply(g, 1 - beta1, out=num)
+                    np.add(m, num, out=m)
+                    # v = beta2 * v + (1 - beta2) * g**2, in place
+                    # (g * g is bitwise-equal to g ** 2 and skips the
+                    # generic pow loop).
+                    np.multiply(v, beta2, out=v)
+                    np.multiply(g, g, out=den)
+                    np.multiply(den, 1 - beta2, out=den)
+                    np.add(v, den, out=v)
+                    # param -= lr * (m / c1) / (sqrt(v / c2) + eps)
+                    np.divide(m, correction1, out=num)
+                    np.divide(v, correction2, out=den)
+                    np.sqrt(den, out=den)
+                    np.add(den, eps, out=den)
+                    np.divide(num, den, out=num)
+                    np.multiply(num, self._lr, out=num)
+                    np.subtract(param, num, out=param)
+            self.loss_history.append(epoch_loss / n)
+
+    def _fit_reference(self, x: np.ndarray, y: np.ndarray) -> None:
+        """The original allocation-heavy training loop (equivalence
+        oracle for :meth:`_fit`; identical RNG stream and update maths)."""
+        rng = np.random.default_rng(self._seed)
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        targets = (y - self._y_mean) / self._y_std
+
+        dims = [x.shape[1], *self._hidden, 1]
+        self._init_params(dims, rng)
+        m_w = [np.zeros_like(w) for w in self._weights]
+        v_w = [np.zeros_like(w) for w in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
         beta1, beta2, eps = 0.9, 0.999, 1e-8
         step = 0
         self.loss_history = []

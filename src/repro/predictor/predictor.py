@@ -27,6 +27,7 @@ from repro.predictor.features import (
 from repro.predictor.mlp import MLPRegressor
 from repro.predictor.regressors import Regressor, root_mean_squared_error
 from repro.stages.workload import Workload
+from repro.perf import profile
 
 
 class PerKindRegressor(Regressor):
@@ -113,6 +114,7 @@ class TimePredictor:
         """Whether :meth:`fit` has run."""
         return self._fitted
 
+    @profile.phase(profile.PHASE_PREDICTOR)
     def fit(self, dataset: Optional[PredictorDataset] = None) -> "TimePredictor":
         """Train on a generated dataset (2,200 samples by default)."""
         if dataset is None:

@@ -20,12 +20,14 @@ treats them uniformly.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import PredictorError
+from repro.perf import cache_key, get_cache, profile
 
 
 def root_mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
@@ -50,15 +52,40 @@ class Regressor:
         self._fitted = False
 
     # ------------------------------------------------------------------
+    @profile.phase(profile.PHASE_PREDICTOR)
     def fit(self, features: np.ndarray, targets: np.ndarray) -> "Regressor":
-        """Fit the model; returns self for chaining."""
+        """Fit the model; returns self for chaining.
+
+        Fits are memoised through the content-keyed artifact cache
+        (:mod:`repro.perf.cache` — "fitted predictors" are exactly the
+        artifact class it was built for): every fit here is a
+        deterministic function of the training data and the estimator's
+        configuration, so the fitted state is cached keyed on the class,
+        the pre-fit attribute snapshot, and the data content.  The state
+        travels as a pickle so cache hits hand back independent copies —
+        restored estimators predict bit-identically to a fresh fit, and
+        a hit performs no RNG draws (none of the estimators touches
+        numpy's global stream, so skipping the work cannot shift
+        downstream experiment randomness).
+        """
         x, y = self._validate(features, targets)
+        key = cache_key(
+            "fitted-regressor", type(self).__qualname__, self.__dict__, x, y,
+        )
+        state = get_cache().get_or_compute(
+            "fitted-regressors", key, lambda: self._fit_and_pack(x, y),
+        )
+        self.__dict__.update(pickle.loads(state))
+        return self
+
+    def _fit_and_pack(self, x: np.ndarray, y: np.ndarray) -> bytes:
+        """Run the real fit and pickle the fitted attribute state."""
         self._x_mean = x.mean(axis=0)
         self._x_std = x.std(axis=0)
         self._x_std[self._x_std == 0] = 1.0
         self._fit((x - self._x_mean) / self._x_std, y)
         self._fitted = True
-        return self
+        return pickle.dumps(self.__dict__, protocol=pickle.HIGHEST_PROTOCOL)
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Predict targets for a feature matrix."""

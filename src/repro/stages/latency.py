@@ -39,6 +39,7 @@ from repro.mapping.selective import UpdatePlan, build_update_plan
 from repro.mapping.tiling import plan_tiling
 from repro.stages.stage import StageKind, StageSpec
 from repro.stages.workload import Workload
+from repro.perf import profile
 
 
 @dataclass(frozen=True)
@@ -414,6 +415,7 @@ class StageTimingModel:
             + self.reload_times_ns(stage)
         )
 
+    @profile.phase(profile.PHASE_TIMING)
     def stage_time_matrix(self, replicas=None) -> np.ndarray:
         """The full ``(num_stages, num_microbatches)`` latency matrix.
 
@@ -433,6 +435,7 @@ class StageTimingModel:
             for i, stage in enumerate(self._stages)
         ])
 
+    @profile.phase(profile.PHASE_TIMING)
     def stage_activity_totals(self, stage: StageSpec) -> StageActivity:
         """Whole-epoch :meth:`activity` totals, computed in one pass."""
         cfg = self._config
@@ -508,6 +511,7 @@ class StageTimingModel:
             / self._workload.num_microbatches
         )
 
+    @profile.phase(profile.PHASE_TIMING)
     def no_replica_times(self) -> Dict[str, float]:
         """Stage name -> mean time without replication (predictor target)."""
         return {
