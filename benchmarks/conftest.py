@@ -13,13 +13,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.context import get_predictor, get_workload
+from repro.runtime import default_session
 
 
 @pytest.fixture(scope="session", autouse=True)
 def warm_caches():
     """Pre-build the shared workloads and predictor once per session."""
-    for name in ("ddi", "collab", "ppa", "proteins", "arxiv", "products",
-                 "cora"):
-        get_workload(name, seed=0)
-    get_predictor(num_samples=800, seed=0)
+    session = default_session()
+    session.prefetch(
+        ("ddi", "collab", "ppa", "proteins", "arxiv", "products", "cora"),
+    )
+    session.predictor(num_samples=800, seed=0)

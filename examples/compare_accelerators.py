@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.experiments import experiment_config, get_predictor, get_workload
+from repro.runtime import default_session
 from repro.accelerators import (
     gopim,
     gopim_vanilla,
@@ -30,9 +30,10 @@ from repro.units import format_energy, format_time
 
 def compare(dataset: str) -> None:
     """Print the six-system comparison for one dataset."""
-    config = experiment_config()
-    predictor = get_predictor(num_samples=800, seed=0)
-    workload = get_workload(dataset, seed=0)
+    session = default_session()
+    config = session.config
+    predictor = session.predictor(num_samples=800, seed=0)
+    workload = session.workload(dataset, seed=0)
     print(f"\n=== {dataset}: {workload.graph} ===")
     systems = (
         serial(),

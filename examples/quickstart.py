@@ -18,14 +18,15 @@ from __future__ import annotations
 
 from repro import GoPIMSystem, workload_from_dataset
 from repro.accelerators import serial
-from repro.experiments import experiment_config, get_predictor
+from repro.runtime import default_session
 from repro.units import format_energy, format_time
 
 
 def main() -> None:
-    config = experiment_config()
+    session = default_session()
+    config = session.config
     print("Training the execution-time predictor (one-off)...")
-    predictor = get_predictor(num_samples=800, seed=0)
+    predictor = session.predictor(num_samples=800, seed=0)
 
     system = GoPIMSystem(config=config, predictor=predictor)
     workload = workload_from_dataset("ddi", random_state=0)

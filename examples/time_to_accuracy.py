@@ -17,7 +17,7 @@ import sys
 
 from repro.accelerators import gopim, gopim_vanilla, serial
 from repro.core import CoSimulation
-from repro.experiments import experiment_config, get_workload
+from repro.runtime import default_session
 from repro.units import format_time
 
 
@@ -25,8 +25,9 @@ def main() -> None:
     dataset = sys.argv[1] if len(sys.argv) > 1 else "arxiv"
     epochs = int(sys.argv[2]) if len(sys.argv) > 2 else 25
     target = float(sys.argv[3]) if len(sys.argv) > 3 else 0.7
-    config = experiment_config()
-    graph = get_workload(dataset, seed=0).graph
+    session = default_session()
+    config = session.config
+    graph = session.graph(dataset, seed=0)
     print(f"{dataset}: {graph}")
     print(f"Training {epochs} epochs per system; "
           f"target test metric {target:.0%}.\n")

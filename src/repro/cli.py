@@ -12,6 +12,10 @@ Commands
     Render a text Gantt chart of the GoPIM pipeline schedule.
 ``experiments [IDS...]``
     Run registered experiments and print their markdown tables.
+``run ID``
+    Run one experiment under a fresh session and print its table, or
+    with ``--json`` the rows plus the full provenance block (run spec,
+    spec hash, config fingerprint, registry ids).
 ``stats DATASET``
     Print a dataset's graph statistics (degree tail, homophily, Gini).
 ``lifetime DATASET``
@@ -52,14 +56,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.accelerators import (
         gopim, gopim_vanilla, reflip, regraphx, serial, slimgnn_like,
     )
-    from repro.experiments.context import (
-        experiment_config, get_predictor, get_workload,
-    )
+    from repro.runtime import default_session
 
-    config = experiment_config()
-    workload = get_workload(args.dataset, seed=args.seed,
-                            micro_batch=args.micro_batch)
-    predictor = get_predictor(seed=args.seed)
+    session = default_session()
+    config = session.config
+    workload = session.workload(args.dataset, seed=args.seed,
+                                micro_batch=args.micro_batch)
+    predictor = session.predictor(seed=args.seed)
     print(f"{args.dataset}: {workload.graph}")
     if args.all:
         systems = [serial(), slimgnn_like(), regraphx(), reflip(),
@@ -89,16 +92,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_gantt(args: argparse.Namespace) -> int:
     from repro.accelerators import gopim, serial
-    from repro.experiments.context import (
-        experiment_config, get_predictor, get_workload,
-    )
     from repro.pipeline.trace import bottleneck_stage, render_gantt
+    from repro.runtime import default_session
 
-    config = experiment_config()
-    workload = get_workload(args.dataset, seed=args.seed)
+    session = default_session()
+    config = session.config
+    workload = session.workload(args.dataset, seed=args.seed)
     acc = (
         serial() if args.serial
-        else gopim(time_predictor=get_predictor(seed=args.seed))
+        else gopim(time_predictor=session.predictor(seed=args.seed))
     )
     report = acc.run(workload, config)
     print(f"{acc.name} on {args.dataset} "
@@ -120,11 +122,36 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_stats(args: argparse.Namespace) -> int:
-    from repro.experiments.context import get_workload
-    from repro.graphs.stats import compute_stats
+def _cmd_run(args: argparse.Namespace) -> int:
+    import json
 
-    graph = get_workload(args.dataset, seed=args.seed).graph
+    from repro.experiments.registry import run_all, specs
+    from repro.runtime import RunSpec, Session
+
+    session = Session(RunSpec(seed=args.seed))
+    result = run_all(
+        quick=args.quick, only=[args.experiment_id], session=session,
+    )[0]
+    if not args.json:
+        print(result.to_markdown())
+        return 0
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "notes": result.notes,
+        "rows": result.rows,
+        "provenance": result.metadata.get("provenance", {}),
+        "registry": list(specs()),
+    }
+    print(json.dumps(payload, indent=2, sort_keys=False, default=str))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.graphs.stats import compute_stats
+    from repro.runtime import default_session
+
+    graph = default_session().graph(args.dataset, seed=args.seed)
     stats = compute_stats(graph)
     for key, value in stats.as_dict().items():
         if isinstance(value, float):
@@ -135,14 +162,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_lifetime(args: argparse.Namespace) -> int:
-    from repro.experiments.context import get_workload
     from repro.hardware.endurance import (
         compare_schemes,
         estimate_lifetime_with_leveling,
     )
     from repro.mapping.selective import build_update_plan
+    from repro.runtime import default_session
 
-    graph = get_workload(args.dataset, seed=args.seed).graph
+    graph = default_session().graph(args.dataset, seed=args.seed)
     plans = {
         "full": build_update_plan(graph, "full"),
         "OSU": build_update_plan(graph, "osu"),
@@ -206,6 +233,17 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--jobs", type=int, default=1, metavar="N",
                              help="worker processes")
 
+    run = sub.add_parser(
+        "run", help="run one experiment with provenance",
+    )
+    run.add_argument("experiment_id", metavar="ID")
+    run.add_argument("--seed", type=int, default=0,
+                     help="session master seed")
+    run.add_argument("--quick", action="store_true",
+                     help="fast smoke parameters")
+    run.add_argument("--json", action="store_true",
+                     help="emit rows plus the provenance block as JSON")
+
     stats = sub.add_parser("stats", help="graph statistics for a dataset")
     stats.add_argument("dataset")
     stats.add_argument("--seed", type=int, default=0)
@@ -228,6 +266,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "gantt": _cmd_gantt,
         "experiments": _cmd_experiments,
+        "run": _cmd_run,
         "stats": _cmd_stats,
         "lifetime": _cmd_lifetime,
         "area": _cmd_area,

@@ -17,7 +17,7 @@ perturbs per-epoch accuracy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
@@ -28,6 +28,9 @@ from repro.graphs.datasets import get_spec
 from repro.graphs.graph import Graph
 from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
 from repro.pipeline.simulator import simulate_pipeline
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime import Session
 
 
 @dataclass
@@ -74,8 +77,11 @@ class CoSimulation:
     def __init__(
         self,
         accelerator: AcceleratorModel,
-        config: HardwareConfig = DEFAULT_CONFIG,
+        config: Optional[HardwareConfig] = None,
+        session: Optional["Session"] = None,
     ) -> None:
+        if config is None:
+            config = DEFAULT_CONFIG if session is None else session.config
         self._accelerator = accelerator
         self._config = config
 

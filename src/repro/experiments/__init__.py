@@ -1,21 +1,14 @@
-"""Experiment harness: one module per reproduced table/figure."""
+"""Experiment harness: one module per reproduced table/figure.
 
-from repro.experiments.context import (
-    EXPERIMENT_ARRAY_BYTES,
-    clear_caches,
-    experiment_config,
-    get_predictor,
-    get_workload,
-)
+Experiments declare themselves with the :func:`repro.runtime.experiment`
+decorator and run under a :class:`repro.runtime.Session`, which owns the
+resolved hardware config, seeded RNG streams, and the artifact cache.
+"""
+
 from repro.experiments.harness import ExperimentResult, combine_markdown
 from repro.experiments.io import load_results, save_results
 
 __all__ = [
-    "EXPERIMENT_ARRAY_BYTES",
-    "clear_caches",
-    "experiment_config",
-    "get_predictor",
-    "get_workload",
     "ExperimentResult",
     "combine_markdown",
     "load_results",
@@ -23,18 +16,15 @@ __all__ = [
     "REGISTRY",
     "run_all",
     "run_experiment",
+    "specs",
 ]
 
 
 def __getattr__(name):
     # Lazy import: registry pulls in every experiment module, which in turn
     # imports the whole library; defer until actually requested.
-    if name in ("REGISTRY", "run_all", "run_experiment"):
+    if name in ("REGISTRY", "run_all", "run_experiment", "specs"):
         from repro.experiments import registry
 
-        return getattr(registry, {
-            "REGISTRY": "REGISTRY",
-            "run_all": "run_all",
-            "run_experiment": "run_experiment",
-        }[name])
+        return getattr(registry, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -10,7 +10,7 @@ in for the DP optimum.
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -23,8 +23,8 @@ from repro.allocation.baselines import (
 )
 from repro.allocation.greedy import greedy_allocation
 from repro.allocation.problem import AllocationProblem
-from repro.experiments.context import experiment_config, get_workload
 from repro.experiments.harness import ExperimentResult
+from repro.runtime import Session, default_session, experiment
 from repro.stages.latency import StageTimingModel
 
 ALLOCATORS = (
@@ -37,10 +37,16 @@ ALLOCATORS = (
 )
 
 
-def build_problem(dataset: str, seed: int = 0, scale: float = 1.0) -> AllocationProblem:
+def build_problem(
+    dataset: str,
+    seed: int = 0,
+    scale: float = 1.0,
+    session: Optional[Session] = None,
+) -> AllocationProblem:
     """The crossbar-allocation problem one dataset's workload poses."""
-    config = experiment_config()
-    workload = get_workload(dataset, seed=seed, scale=scale)
+    session = session or default_session()
+    config = session.config
+    workload = session.workload(dataset, seed=seed, scale=scale)
     timing = StageTimingModel(workload)
     stages = timing.stages
     crossbars = np.array([timing.crossbars_per_replica(s) for s in stages])
@@ -65,12 +71,22 @@ def build_problem(dataset: str, seed: int = 0, scale: float = 1.0) -> Allocation
     )
 
 
+@experiment(
+    "abl-allocator",
+    title="Allocation policy ablation: makespan quality vs decision time",
+    datasets=("ddi", "collab", "products"),
+    cost_hint=4.0,
+    wall_clock=True,
+    order=140,
+)
 def run(
     datasets: Sequence[str] = ("ddi", "collab", "products"),
     seed: int = 0,
     scale: float = 1.0,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Quality + decision-time comparison of all allocation policies."""
+    session = session or default_session()
     result = ExperimentResult(
         experiment_id="abl-allocator",
         title="Allocation policy ablation: makespan quality vs decision time",
@@ -81,7 +97,7 @@ def run(
         ),
     )
     for dataset in datasets:
-        problem = build_problem(dataset, seed=seed, scale=scale)
+        problem = build_problem(dataset, seed=seed, scale=scale, session=session)
         baseline = problem.makespan_ns(
             np.ones(problem.num_stages, dtype=np.int64),
         )

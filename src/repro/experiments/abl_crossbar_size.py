@@ -14,27 +14,38 @@ the trade-off the fixed choice hides:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.accelerators.catalog import gopim, serial
-from repro.experiments.context import (
-    EXPERIMENT_ARRAY_BYTES,
-    get_workload,
-)
 from repro.experiments.harness import ExperimentResult
 from repro.hardware.config import HardwareConfig
+from repro.runtime import (
+    EXPERIMENT_ARRAY_BYTES,
+    Session,
+    default_session,
+    experiment,
+)
 
 SIZE_GRID = (32, 64, 128)
 
 
+@experiment(
+    "abl-crossbar-size",
+    title="Crossbar size design-space sweep",
+    datasets=("ddi",),
+    cost_hint=3.0,
+    order=180,
+)
 def run(
     dataset: str = "ddi",
     sizes: Sequence[int] = SIZE_GRID,
     seed: int = 0,
     scale: float = 1.0,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """GoPIM speedup/energy vs square crossbar size."""
-    workload = get_workload(dataset, seed=seed, scale=scale)
+    session = session or default_session()
+    workload = session.workload(dataset, seed=seed, scale=scale)
     result = ExperimentResult(
         experiment_id="abl-crossbar-size",
         title=f"Crossbar size design-space sweep ({dataset})",

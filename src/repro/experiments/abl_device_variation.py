@@ -10,12 +10,12 @@ microbenchmark.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.context import get_workload
 from repro.experiments.harness import ExperimentResult
+from repro.runtime import Session, default_session, experiment
 from repro.gcn.trainer import make_trainer
 from repro.graphs.datasets import get_spec
 from repro.hardware.engine import MappedMatrix
@@ -35,16 +35,26 @@ def mvm_relative_error(sigma: float, seed: int = 0) -> float:
     return float(np.median(np.abs(noisy - exact) / scale))
 
 
+@experiment(
+    "abl-variation",
+    title="Device variation: accuracy vs analog noise sigma",
+    datasets=("arxiv",),
+    cost_hint=20.0,
+    quick={"epochs": 8, "sigmas": (0.0, 0.05)},
+    order=170,
+)
 def run(
     dataset: str = "arxiv",
     sigmas: Sequence[float] = SIGMA_GRID,
     epochs: int = 25,
     seed: int = 0,
     scale: float = 1.0,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Accuracy and raw MVM error vs device-variation sigma."""
+    session = session or default_session()
     spec = get_spec(dataset)
-    graph = get_workload(dataset, seed=seed, scale=scale).graph
+    graph = session.graph(dataset, seed=seed, scale=scale)
     result = ExperimentResult(
         experiment_id="abl-variation",
         title=f"Device variation: accuracy vs analog noise sigma ({dataset})",

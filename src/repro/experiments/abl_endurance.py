@@ -11,10 +11,10 @@ updating cannot spare the rows it keeps refreshing.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.experiments.context import get_workload
 from repro.experiments.harness import ExperimentResult
+from repro.runtime import Session, default_session, experiment
 from repro.hardware.endurance import (
     compare_schemes,
     estimate_lifetime_with_leveling,
@@ -22,12 +22,21 @@ from repro.hardware.endurance import (
 from repro.mapping.selective import build_update_plan
 
 
+@experiment(
+    "abl-endurance",
+    title="ReRAM array lifetime under each update scheme",
+    datasets=("ddi", "cora"),
+    cost_hint=1.0,
+    order=210,
+)
 def run(
     datasets: Sequence[str] = ("ddi", "cora"),
     seed: int = 0,
     scale: float = 1.0,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Lifetime comparison: full vs OSU vs ISU per dataset."""
+    session = session or default_session()
     result = ExperimentResult(
         experiment_id="abl-endurance",
         title="ReRAM array lifetime under each update scheme",
@@ -38,7 +47,7 @@ def run(
         ),
     )
     for dataset in datasets:
-        graph = get_workload(dataset, seed=seed, scale=scale).graph
+        graph = session.graph(dataset, seed=seed, scale=scale)
         reports = compare_schemes({
             "full": build_update_plan(graph, "full"),
             "OSU": build_update_plan(graph, "osu"),

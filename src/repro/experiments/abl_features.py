@@ -13,8 +13,16 @@ from typing import Optional
 from repro.experiments.harness import ExperimentResult
 from repro.predictor.dataset import PredictorDataset, generate_dataset
 from repro.predictor.feature_ablation import ablate_features, importance_ranking
+from repro.runtime import experiment
 
 
+@experiment(
+    "abl-features",
+    title="Table I feature ablation (drop-one RMSE)",
+    cost_hint=8.0,
+    quick={"num_samples": 400},
+    order=190,
+)
 def run(
     num_samples: int = 900,
     seed: int = 0,

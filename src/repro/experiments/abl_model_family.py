@@ -12,19 +12,17 @@ nothing in GoPIM is GCN-specific by running the full stack on GraphSAGE:
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.accelerators.catalog import gopim, serial
 from repro.errors import ExperimentError
-from repro.experiments.context import experiment_config, get_workload
-from repro.experiments.harness import ExperimentResult
-from repro.gcn.losses import accuracy, cross_entropy_loss
+from repro.experiments.harness import ExperimentResult, train_with_split
 from repro.gcn.model import GCN, StaleFeatureStore
-from repro.gcn.optim import Adam
 from repro.gcn.sage import GraphSAGE
 from repro.mapping.selective import build_update_plan
+from repro.runtime import Session, default_session, experiment
 from repro.stages.workload import Workload
 
 
@@ -40,46 +38,42 @@ def sage_workload(base: Workload) -> Workload:
 
 
 def _train(model, graph, plan, epochs: int, seed: int) -> float:
-    rng = np.random.default_rng(seed)
-    order = rng.permutation(graph.num_vertices)
-    cut = int(0.7 * graph.num_vertices)
-    train_idx, test_idx = np.sort(order[:cut]), np.sort(order[cut:])
-    optimizer = Adam(learning_rate=0.01)
     store = StaleFeatureStore(model.num_layers)
-    best = 0.0
-    for epoch in range(epochs):
-        updated = None if plan is None else plan.vertices_updated_at(epoch)
-        logits, cache = model.forward(
-            graph, graph.features, store=store, updated=updated,
-            training=True,
-        )
-        _, grad = cross_entropy_loss(
-            logits[train_idx], graph.labels[train_idx],
-        )
-        grad_full = np.zeros_like(logits)
-        grad_full[train_idx] = grad
-        optimizer.step(model.params, model.backward(graph, cache, grad_full))
-        eval_logits, _ = model.forward(
-            graph, graph.features, store=store,
-            updated=np.array([], dtype=np.int64),
-        )
-        best = max(best, accuracy(
-            eval_logits[test_idx], graph.labels[test_idx],
-        ))
-    return best
+    return train_with_split(
+        model, graph, epochs, seed,
+        forward_kwargs=lambda epoch: {
+            "store": store,
+            "updated": (
+                None if plan is None else plan.vertices_updated_at(epoch)
+            ),
+        },
+        eval_kwargs={
+            "store": store, "updated": np.array([], dtype=np.int64),
+        },
+    )
 
 
+@experiment(
+    "abl-model-family",
+    title="GoPIM across model families: GCN vs GraphSAGE",
+    datasets=("arxiv",),
+    cost_hint=10.0,
+    quick={"epochs": 10},
+    order=260,
+)
 def run(
     dataset: str = "arxiv",
     epochs: int = 25,
     seed: int = 0,
     scale: float = 1.0,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Speedups and ISU accuracy impact for both model families."""
     if epochs < 1:
         raise ExperimentError("epochs must be >= 1")
-    config = experiment_config()
-    base = get_workload(dataset, seed=seed, scale=scale)
+    session = session or default_session()
+    config = session.config
+    base = session.workload(dataset, seed=seed, scale=scale)
     graph = base.graph
     result = ExperimentResult(
         experiment_id="abl-model-family",

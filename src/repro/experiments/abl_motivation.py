@@ -12,10 +12,10 @@ every dataset:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.experiments.context import get_workload
 from repro.experiments.harness import ExperimentResult
+from repro.runtime import Session, default_session, experiment
 from repro.stages.analysis import (
     aggregation_combination_ratios,
     profile_stages,
@@ -26,12 +26,21 @@ from repro.stages.latency import StageTimingModel
 MOTIVATION_DATASETS = ("ddi", "collab", "ppa", "proteins", "arxiv", "products")
 
 
+@experiment(
+    "abl-motivation",
+    title="Section III motivation profile",
+    datasets=MOTIVATION_DATASETS,
+    cost_hint=2.0,
+    order=200,
+)
 def run(
     datasets: Sequence[str] = MOTIVATION_DATASETS,
     seed: int = 0,
     scale: float = 1.0,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """The motivation profile per dataset."""
+    session = session or default_session()
     result = ExperimentResult(
         experiment_id="abl-motivation",
         title="Section III motivation profile (AG:CO ratios, update share)",
@@ -43,7 +52,7 @@ def run(
         ),
     )
     for name in datasets:
-        workload = get_workload(name, seed=seed, scale=scale)
+        workload = session.workload(name, seed=seed, scale=scale)
         timing = StageTimingModel(workload)
         ratios = aggregation_combination_ratios(timing)
         profiles = {p.name: p for p in profile_stages(timing)}

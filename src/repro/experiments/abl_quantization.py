@@ -21,10 +21,18 @@ from repro.graphs.generators import dc_sbm_graph
 from repro.hardware.config import HardwareConfig
 from repro.hardware.functional_gcn import FunctionalGCN
 from repro.experiments.harness import ExperimentResult
+from repro.runtime import experiment
 
 BIT_GRID = (2, 4, 8, 16)
 
 
+@experiment(
+    "abl-quantization",
+    title="Cell-precision DSE: hardware inference accuracy",
+    cost_hint=5.0,
+    quick={"weight_bits": (2, 4), "epochs": 10},
+    order=230,
+)
 def run(
     weight_bits: Sequence[int] = BIT_GRID,
     num_vertices: int = 96,

@@ -18,12 +18,20 @@ from repro.predictor.dataset import generate_dataset
 from repro.predictor.evaluate import prediction_accuracy
 from repro.predictor.features import stage_samples
 from repro.predictor.predictor import TimePredictor
+from repro.runtime import experiment
 from repro.stages.latency import StageTimingModel
 from repro.stages.workload import workload_from_dataset
 
 SAMPLE_GRID = (100, 200, 400, 800, 1600)
 
 
+@experiment(
+    "abl-samples",
+    title="Predictor sample efficiency",
+    cost_hint=10.0,
+    quick={"sample_counts": (100, 400)},
+    order=220,
+)
 def run(
     sample_counts: Sequence[int] = SAMPLE_GRID,
     held_out: str = "cora",

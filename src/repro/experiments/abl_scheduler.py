@@ -9,28 +9,33 @@ time each achieves.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.scheduler import MultiTenantScheduler
-from repro.experiments.context import (
-    experiment_config,
-    get_predictor,
-    get_workload,
-)
 from repro.experiments.harness import ExperimentResult
+from repro.runtime import Session, default_session, experiment
 
 
+@experiment(
+    "abl-scheduler",
+    title="Multi-tenant chip scheduling: equal vs greedy split",
+    datasets=("ddi", "cora"),
+    cost_hint=2.0,
+    order=240,
+)
 def run(
     datasets: Sequence[str] = ("ddi", "cora"),
     seed: int = 0,
     scale: float = 1.0,
     use_predictor: bool = True,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Equal vs greedy chip split over a mixed job set."""
-    config = experiment_config()
-    predictor = get_predictor(seed=seed) if use_predictor else None
+    session = session or default_session()
+    config = session.config
+    predictor = session.predictor(seed=seed) if use_predictor else None
     workloads = [
-        get_workload(name, seed=seed, scale=scale) for name in datasets
+        session.workload(name, seed=seed, scale=scale) for name in datasets
     ]
     scheduler = MultiTenantScheduler(
         config=config, time_predictor=predictor,

@@ -11,24 +11,34 @@ not, matching Table V's benign accuracy deltas).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.accelerators.catalog import gopim, gopim_vanilla, serial
 from repro.core.cosim import CoSimulation
-from repro.experiments.context import experiment_config, get_workload
 from repro.experiments.harness import ExperimentResult
+from repro.runtime import Session, default_session, experiment
 
 
+@experiment(
+    "abl-tta",
+    title="Hardware time-to-accuracy",
+    datasets=("arxiv",),
+    cost_hint=15.0,
+    quick={"epochs": 8},
+    order=160,
+)
 def run(
     dataset: str = "arxiv",
     epochs: int = 20,
     targets: Sequence[float] = (0.5, 0.7),
     seed: int = 0,
     scale: float = 1.0,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Time-to-accuracy comparison on one dataset."""
-    config = experiment_config()
-    graph = get_workload(dataset, seed=seed, scale=scale).graph
+    session = session or default_session()
+    config = session.config
+    graph = session.graph(dataset, seed=seed, scale=scale)
     result = ExperimentResult(
         experiment_id="abl-tta",
         title=f"Hardware time-to-accuracy ({dataset})",

@@ -11,16 +11,12 @@ behind pipelining training at all.
 from __future__ import annotations
 
 from collections import deque
-from typing import Sequence
-
-import numpy as np
+from typing import Optional, Sequence
 
 from repro.errors import TrainingError
-from repro.experiments.context import get_workload
-from repro.experiments.harness import ExperimentResult
-from repro.gcn.losses import accuracy, cross_entropy_loss
+from repro.experiments.harness import ExperimentResult, train_with_split
 from repro.gcn.model import GCN
-from repro.gcn.optim import Adam
+from repro.runtime import Session, default_session, experiment
 
 
 def train_with_delay(
@@ -33,52 +29,41 @@ def train_with_delay(
     """Best test accuracy training with gradients ``delay`` epochs stale."""
     if delay < 0:
         raise TrainingError("delay must be >= 0")
-    if graph.labels is None:
-        raise TrainingError("needs a labelled graph")
-    rng = np.random.default_rng(seed)
-    order = rng.permutation(graph.num_vertices)
-    cut = int(0.7 * graph.num_vertices)
-    train_idx, test_idx = np.sort(order[:cut]), np.sort(order[cut:])
-
     model = GCN(
         [(graph.feature_dim, hidden_dim),
          (hidden_dim, graph.num_classes)],
         random_state=seed,
     )
-    optimizer = Adam(learning_rate=0.01)
     snapshots: deque = deque(maxlen=delay + 1)
-    best = 0.0
-    for _ in range(epochs):
+
+    def stale_params(_epoch: int):
         snapshots.append({k: v.copy() for k, v in model.params.items()})
-        stale = snapshots[0]  # weights from `delay` epochs ago
-        live = model.params
-        model.params = stale
-        logits, cache = model.forward(graph, graph.features, training=True)
-        loss, grad_logits = cross_entropy_loss(
-            logits[train_idx], graph.labels[train_idx],
-        )
-        grad_full = np.zeros_like(logits)
-        grad_full[train_idx] = grad_logits
-        grads = model.backward(graph, cache, grad_full)
-        model.params = live
-        optimizer.step(model.params, grads)
+        return snapshots[0]  # weights from `delay` epochs ago
 
-        eval_logits, _ = model.forward(graph, graph.features)
-        best = max(best, accuracy(
-            eval_logits[test_idx], graph.labels[test_idx],
-        ))
-    return best
+    return train_with_split(
+        model, graph, epochs, seed, forward_params=stale_params,
+    )
 
 
+@experiment(
+    "abl-weight-staleness",
+    title="Bounded weight staleness from pipelining",
+    datasets=("arxiv",),
+    cost_hint=12.0,
+    quick={"delays": (0, 4), "epochs": 10},
+    order=250,
+)
 def run(
     dataset: str = "arxiv",
     delays: Sequence[int] = (0, 1, 2, 4, 8),
     epochs: int = 30,
     seed: int = 0,
     scale: float = 1.0,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Accuracy vs gradient-staleness depth."""
-    graph = get_workload(dataset, seed=seed, scale=scale).graph
+    session = session or default_session()
+    graph = session.graph(dataset, seed=seed, scale=scale)
     result = ExperimentResult(
         experiment_id="abl-weight-staleness",
         title=f"Bounded weight staleness from pipelining ({dataset})",

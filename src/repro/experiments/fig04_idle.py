@@ -8,22 +8,31 @@ stage's crossbar pool.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.accelerators.catalog import slimgnn_like
-from repro.experiments.context import experiment_config, get_workload
 from repro.experiments.harness import ExperimentResult
+from repro.runtime import Session, default_session, experiment
 
 FIG04_DATASETS = ("ddi", "collab", "ppa", "proteins", "arxiv", "products")
 
 
+@experiment(
+    "fig04",
+    title="Idle time percentage of crossbars per stage",
+    datasets=FIG04_DATASETS,
+    cost_hint=2.0,
+    order=10,
+)
 def run(
     datasets: Sequence[str] = FIG04_DATASETS,
     seed: int = 0,
     scale: float = 1.0,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Reproduce Fig. 4's per-stage idle percentages."""
-    config = experiment_config()
+    session = session or default_session()
+    config = session.config
     result = ExperimentResult(
         experiment_id="fig04",
         title="Idle time percentage of crossbars per stage (SlimGNN-like pipeline)",
@@ -33,7 +42,7 @@ def run(
         ),
     )
     for name in datasets:
-        workload = get_workload(name, seed=seed, scale=scale)
+        workload = session.workload(name, seed=seed, scale=scale)
         report = slimgnn_like().run(workload, config)
         idle = report.idle_fractions()
         row = {"dataset": name}

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.experiments.harness import ExperimentResult
 from repro.pipeline.simulator import ScheduleMode, simulate_pipeline
+from repro.runtime import experiment
 
 NUM_MICROBATCHES = 8
 MICROBATCHES_PER_BATCH = 2
@@ -42,6 +43,12 @@ def makespan_for(stage1_replicas: int, stage2_replicas: int) -> float:
     return result.total_time_ns
 
 
+@experiment(
+    "fig05",
+    title="Unused-crossbar allocation example",
+    cost_hint=0.1,
+    order=20,
+)
 def run() -> ExperimentResult:
     """Reproduce Fig. 5's 52 / 18 / 16 unit makespans."""
     baseline = makespan_for(0, 0)

@@ -9,24 +9,33 @@ show the balance ISU achieves.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.context import get_workload
 from repro.experiments.harness import ExperimentResult
 from repro.mapping.vertex_map import index_mapping, interleaved_mapping
+from repro.runtime import Session, default_session, experiment
 
 FIG06_DATASETS = ("ddi", "collab", "ppa", "proteins", "arxiv", "products")
 
 
+@experiment(
+    "fig06",
+    title="Average degree of vertices mapped on each crossbar",
+    datasets=FIG06_DATASETS,
+    cost_hint=1.5,
+    order=30,
+)
 def run(
     datasets: Sequence[str] = FIG06_DATASETS,
     seed: int = 0,
     rows_per_crossbar: int = 64,
     scale: float = 1.0,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Reproduce Fig. 6's per-crossbar degree spread."""
+    session = session or default_session()
     result = ExperimentResult(
         experiment_id="fig06",
         title="Average degree of vertices mapped on each crossbar",
@@ -37,7 +46,7 @@ def run(
         ),
     )
     for name in datasets:
-        graph = get_workload(name, seed=seed, scale=scale).graph
+        graph = session.graph(name, seed=seed, scale=scale)
         indexed = index_mapping(graph.num_vertices, rows_per_crossbar)
         interleaved = interleaved_mapping(graph, rows_per_crossbar)
         idx_deg = indexed.average_degree_per_crossbar(graph)

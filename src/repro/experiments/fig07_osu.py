@@ -10,13 +10,13 @@ Two parts:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.context import get_workload
 from repro.experiments.harness import ExperimentResult
 from repro.mapping.selective import build_update_plan
+from repro.runtime import Session, default_session, experiment
 
 TOY_DEGREES = (300, 500, 250, 450, 2, 15, 10, 1)
 
@@ -45,12 +45,21 @@ def toy_cycles() -> dict:
     }
 
 
+@experiment(
+    "fig07",
+    title="Selective updating write cycles: OSU vs ISU",
+    datasets=("ddi", "proteins", "ppa"),
+    cost_hint=1.0,
+    order=40,
+)
 def run(
     datasets: Sequence[str] = ("ddi", "proteins", "ppa"),
     seed: int = 0,
     scale: float = 1.0,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Reproduce Fig. 7's cycle counts, toy and dataset scale."""
+    session = session or default_session()
     result = ExperimentResult(
         experiment_id="fig07",
         title="Selective updating write cycles: OSU vs ISU",
@@ -69,7 +78,7 @@ def run(
         "ISU cycles": toy["ISU (interleaved mapping)"],
     })
     for name in datasets:
-        graph = get_workload(name, seed=seed, scale=scale).graph
+        graph = session.graph(name, seed=seed, scale=scale)
         full = build_update_plan(graph, "full")
         osu = build_update_plan(graph, "osu")
         isu = build_update_plan(graph, "isu")

@@ -19,8 +19,16 @@ from repro.predictor.evaluate import (
     sweep_mlp_depth,
     sweep_mlp_width,
 )
+from repro.runtime import experiment
 
 
+@experiment(
+    "fig09",
+    title="Execution-time predictor RMSE",
+    cost_hint=6.0,
+    quick={"num_samples": 400},
+    order=50,
+)
 def run(
     num_samples: int = 1200,
     seed: int = 0,

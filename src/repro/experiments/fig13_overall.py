@@ -18,12 +18,8 @@ from repro.accelerators.catalog import (
     serial,
     slimgnn_like,
 )
-from repro.experiments.context import (
-    experiment_config,
-    get_predictor,
-    get_workload,
-)
 from repro.experiments.harness import ExperimentResult
+from repro.runtime import Session, default_session, experiment
 
 FIG13_DATASETS = ("ddi", "collab", "ppa", "proteins", "arxiv")
 
@@ -34,13 +30,15 @@ def run_systems(
     micro_batch: int = 64,
     scale: float = 1.0,
     use_predictor: bool = True,
+    session: Optional[Session] = None,
 ) -> Dict[str, AcceleratorReport]:
     """All six systems' reports for one dataset."""
-    config = experiment_config()
-    workload = get_workload(
+    session = session or default_session()
+    config = session.config
+    workload = session.workload(
         dataset, seed=seed, micro_batch=micro_batch, scale=scale,
     )
-    predictor = get_predictor(seed=seed) if use_predictor else None
+    predictor = session.predictor(seed=seed) if use_predictor else None
     systems = (
         serial(),
         slimgnn_like(),
@@ -52,6 +50,13 @@ def run_systems(
     return {acc.name: acc.run(workload, config) for acc in systems}
 
 
+@experiment(
+    "fig13",
+    title="Overall speedup and energy saving, normalised to Serial",
+    datasets=FIG13_DATASETS,
+    cost_hint=8.0,
+    order=60,
+)
 def run(
     datasets: Sequence[str] = FIG13_DATASETS,
     seed: int = 0,
@@ -59,8 +64,10 @@ def run(
     scale: float = 1.0,
     use_predictor: bool = True,
     include_cora: bool = False,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Reproduce Fig. 13 (a) speedups and (b) energy savings."""
+    session = session or default_session()
     result = ExperimentResult(
         experiment_id="fig13",
         title="Overall speedup and energy saving, normalised to Serial",
@@ -74,7 +81,7 @@ def run(
     for dataset in names:
         reports = run_systems(
             dataset, seed=seed, micro_batch=micro_batch, scale=scale,
-            use_predictor=use_predictor,
+            use_predictor=use_predictor, session=session,
         )
         base = reports["Serial"]
         for name, report in reports.items():

@@ -8,28 +8,33 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.accelerators.catalog import gopim, plus_isu, plus_pp, serial
-from repro.experiments.context import (
-    experiment_config,
-    get_predictor,
-    get_workload,
-)
 from repro.experiments.harness import ExperimentResult
+from repro.runtime import Session, default_session, experiment
 
 FIG14_DATASETS = ("ddi", "collab", "ppa", "proteins", "arxiv")
 
 
+@experiment(
+    "fig14",
+    title="Ablation: +PP, +ISU, and ML-based allocation",
+    datasets=FIG14_DATASETS,
+    cost_hint=6.0,
+    order=70,
+)
 def run(
     datasets: Sequence[str] = FIG14_DATASETS,
     seed: int = 0,
     scale: float = 1.0,
     use_predictor: bool = True,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Reproduce Fig. 14's ablation of GoPIM's techniques."""
-    config = experiment_config()
-    predictor = get_predictor(seed=seed) if use_predictor else None
+    session = session or default_session()
+    config = session.config
+    predictor = session.predictor(seed=seed) if use_predictor else None
     result = ExperimentResult(
         experiment_id="fig14",
         title="Ablation: +PP, +ISU, and ML-based allocation",
@@ -39,7 +44,7 @@ def run(
         ),
     )
     for dataset in datasets:
-        workload = get_workload(dataset, seed=seed, scale=scale)
+        workload = session.workload(dataset, seed=seed, scale=scale)
         systems = (
             serial(), plus_pp(), plus_isu(),
             gopim(time_predictor=predictor),

@@ -7,29 +7,34 @@ accelerator with index mapping and no replicas.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.accelerators.catalog import gopim, naive_pipeline
-from repro.experiments.context import (
-    experiment_config,
-    get_predictor,
-    get_workload,
-)
 from repro.experiments.harness import ExperimentResult
+from repro.runtime import Session, default_session, experiment
 
 
+@experiment(
+    "fig15",
+    title="Crossbar idle percentage vs micro-batch size",
+    datasets=("ddi",),
+    cost_hint=3.0,
+    order=80,
+)
 def run(
     dataset: str = "ddi",
     micro_batches: Sequence[int] = (32, 64, 128),
     seed: int = 0,
     scale: float = 1.0,
     use_predictor: bool = True,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Reproduce Fig. 15's idle-percentage comparison."""
-    config = experiment_config()
-    predictor = get_predictor(seed=seed) if use_predictor else None
+    session = session or default_session()
+    config = session.config
+    predictor = session.predictor(seed=seed) if use_predictor else None
     result = ExperimentResult(
         experiment_id="fig15",
         title=f"Crossbar idle percentage vs micro-batch size ({dataset})",
@@ -39,7 +44,9 @@ def run(
         ),
     )
     for mb in micro_batches:
-        workload = get_workload(dataset, seed=seed, micro_batch=mb, scale=scale)
+        workload = session.workload(
+            dataset, seed=seed, micro_batch=mb, scale=scale,
+        )
         naive_report = naive_pipeline().run(workload, config)
         gopim_report = gopim(time_predictor=predictor).run(workload, config)
         naive_idle = 100.0 * float(np.mean(naive_report.idle_fractions()))

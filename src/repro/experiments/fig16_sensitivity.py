@@ -7,15 +7,11 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.accelerators.catalog import gopim, serial
-from repro.experiments.context import (
-    experiment_config,
-    get_predictor,
-    get_workload,
-)
 from repro.experiments.harness import ExperimentResult
+from repro.runtime import Session, default_session, experiment
 from repro.gcn.trainer import make_trainer
 from repro.graphs.datasets import get_spec
 from repro.mapping.selective import build_update_plan
@@ -30,10 +26,12 @@ def accuracy_vs_theta(
     epochs: int = 40,
     seed: int = 0,
     scale: float = 1.0,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Train with ISU at each theta and record the best test metric."""
+    session = session or default_session()
     spec = get_spec(dataset)
-    graph = get_workload(dataset, seed=seed, scale=scale).graph
+    graph = session.graph(dataset, seed=seed, scale=scale)
     result = ExperimentResult(
         experiment_id=f"fig16-{dataset}",
         title=f"Accuracy vs update threshold theta ({dataset})",
@@ -66,6 +64,7 @@ def speedup_vs_batch(
     seed: int = 0,
     scale: float = 1.0,
     use_predictor: bool = True,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Fig. 16(c): GoPIM speedup grows with the micro-batch size.
 
@@ -74,15 +73,18 @@ def speedup_vs_batch(
     counts the curve rises through b=32/64 and then rolls off as B
     approaches 1, which the paper-scale graphs never reach.
     """
-    config = experiment_config()
-    predictor = get_predictor(seed=seed) if use_predictor else None
+    session = session or default_session()
+    config = session.config
+    predictor = session.predictor(seed=seed) if use_predictor else None
     result = ExperimentResult(
         experiment_id="fig16c",
         title=f"GoPIM speedup vs micro-batch size ({dataset})",
         notes="Paper: speedup normalised to Serial rises with batch size.",
     )
     for mb in batches:
-        workload = get_workload(dataset, seed=seed, micro_batch=mb, scale=scale)
+        workload = session.workload(
+            dataset, seed=seed, micro_batch=mb, scale=scale,
+        )
         base = serial().run(workload, config)
         rep = gopim(time_predictor=predictor).run(workload, config)
         result.rows.append({
@@ -92,6 +94,14 @@ def speedup_vs_batch(
     return result
 
 
+@experiment(
+    "fig16",
+    title="Sensitivity: update threshold (a/b) and micro-batch size (c)",
+    datasets=("ddi", "cora"),
+    cost_hint=20.0,
+    quick={"epochs": 12, "thetas": (0.4, 0.6, 0.8)},
+    order=90,
+)
 def run(
     epochs: int = 40,
     seed: int = 0,
@@ -99,17 +109,21 @@ def run(
     thetas: Sequence[float] = THETA_GRID,
     batches: Sequence[int] = BATCH_GRID,
     use_predictor: bool = True,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """All three Fig. 16 panels as one result."""
+    session = session or default_session()
     combined = ExperimentResult(
         experiment_id="fig16",
         title="Sensitivity: update threshold (a/b) and micro-batch size (c)",
     )
     dense = accuracy_vs_theta(
         "ddi", thetas=thetas, epochs=epochs, seed=seed, scale=scale,
+        session=session,
     )
     sparse = accuracy_vs_theta(
         "cora", thetas=thetas, epochs=epochs, seed=seed, scale=scale,
+        session=session,
     )
     for row in dense.rows:
         combined.rows.append({"panel": "a (ddi, dense)", **row})
@@ -117,7 +131,7 @@ def run(
         combined.rows.append({"panel": "b (Cora, sparse)", **row})
     for row in speedup_vs_batch(
         "ddi", batches=batches, seed=seed, scale=scale,
-        use_predictor=use_predictor,
+        use_predictor=use_predictor, session=session,
     ).rows:
         combined.rows.append({"panel": "c (batch size)", **row})
     return combined

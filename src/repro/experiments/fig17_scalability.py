@@ -9,29 +9,34 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.accelerators.catalog import gopim, serial
-from repro.experiments.context import (
-    experiment_config,
-    get_predictor,
-    get_workload,
-)
 from repro.experiments.harness import ExperimentResult
+from repro.runtime import Session, default_session, experiment
 from repro.stages.workload import Workload
 
 DIMENSION_GRID = (256, 512, 1024, 2048)
 
 
+@experiment(
+    "fig17",
+    title="Scalability: feature dimension sweep and the products dataset",
+    datasets=("ddi", "products"),
+    cost_hint=6.0,
+    order=100,
+)
 def run(
     dimensions: Sequence[int] = DIMENSION_GRID,
     seed: int = 0,
     scale: float = 1.0,
     use_predictor: bool = True,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Reproduce both Fig. 17 panels."""
-    config = experiment_config()
-    predictor = get_predictor(seed=seed) if use_predictor else None
+    session = session or default_session()
+    config = session.config
+    predictor = session.predictor(seed=seed) if use_predictor else None
     result = ExperimentResult(
         experiment_id="fig17",
         title="Scalability: feature dimension sweep and the products dataset",
@@ -40,7 +45,7 @@ def run(
             "replica); products reaches 5.9x speedup / 1.8x energy saving."
         ),
     )
-    base_workload = get_workload("ddi", seed=seed, scale=scale)
+    base_workload = session.workload("ddi", seed=seed, scale=scale)
     for dim in dimensions:
         dims = [(dim, dim) for _ in base_workload.layer_dims]
         workload = Workload(
@@ -58,7 +63,7 @@ def run(
             "energy saving": base.energy_pj / rep.energy_pj,
         })
 
-    products = get_workload("products", seed=seed, scale=scale)
+    products = session.workload("products", seed=seed, scale=scale)
     base = serial().run(products, config)
     rep = gopim(time_predictor=predictor).run(products, config)
     result.rows.append({

@@ -1,18 +1,25 @@
-"""Experiment result container and markdown rendering.
+"""Experiment result container, markdown rendering, shared training loop.
 
 Every experiment module exposes ``run(...) -> ExperimentResult``; the
 result is a titled list of uniform row dicts that renders as the table or
-series the paper's figure plots.  ``repro.experiments.registry`` maps
-experiment ids (``"fig13"``, ``"tab05"``, ...) to their run functions so
-the benchmark harness and the ``run_all`` driver can enumerate them.
+series the paper's figure plots.  Experiments declare themselves to the
+registry with the :func:`repro.runtime.experiment` decorator; the
+``run_all`` driver enumerates the collected specs.
+
+``metadata`` carries run provenance (spec hash, config fingerprint —
+stamped by :meth:`repro.runtime.Session.stamp`); it never renders into
+the markdown tables, so provenance can be added or changed without
+touching the reproduced output.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.errors import ExperimentError
+import numpy as np
+
+from repro.errors import ExperimentError, TrainingError
 
 
 @dataclass
@@ -23,6 +30,7 @@ class ExperimentResult:
     title: str
     rows: List[Dict[str, Any]] = field(default_factory=list)
     notes: str = ""
+    metadata: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.experiment_id:
@@ -78,3 +86,101 @@ class ExperimentResult:
 def combine_markdown(results: Sequence[ExperimentResult]) -> str:
     """Concatenate rendered results (the EXPERIMENTS.md generator)."""
     return "\n".join(result.to_markdown() for result in results)
+
+
+# ----------------------------------------------------------------------
+# Shared custom-training-loop boilerplate
+# ----------------------------------------------------------------------
+EpochKwargs = Union[None, Mapping[str, Any], Callable[[int], Mapping[str, Any]]]
+
+
+def split_vertices(
+    num_vertices: int,
+    seed: int,
+    train_fraction: float = 0.7,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Deterministic sorted train/test vertex split (the ablation split)."""
+    if not 0.0 < train_fraction < 1.0:
+        raise TrainingError(
+            f"train_fraction must be in (0, 1), got {train_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(num_vertices)
+    cut = int(train_fraction * num_vertices)
+    return np.sort(order[:cut]), np.sort(order[cut:])
+
+
+def _resolve_kwargs(spec: EpochKwargs, epoch: int) -> Dict[str, Any]:
+    if spec is None:
+        return {}
+    if callable(spec):
+        return dict(spec(epoch))
+    return dict(spec)
+
+
+def train_with_split(
+    model,
+    graph,
+    epochs: int,
+    seed: int,
+    *,
+    learning_rate: float = 0.01,
+    train_fraction: float = 0.7,
+    forward_kwargs: EpochKwargs = None,
+    eval_kwargs: EpochKwargs = None,
+    forward_params: Optional[Callable[[int], Dict[str, np.ndarray]]] = None,
+) -> float:
+    """Best test accuracy of a full-batch Adam training loop.
+
+    The shared skeleton of the ablation studies that drive a model
+    outside :class:`~repro.gcn.trainer.NodeClassificationTrainer` (to
+    control staleness semantics directly): deterministic 70/30 vertex
+    split, full-graph forward, cross-entropy on the train vertices,
+    Adam step, greedy best-of-epochs test accuracy.
+
+    ``forward_kwargs`` / ``eval_kwargs`` inject per-epoch keyword
+    arguments into the training and evaluation forwards (a dict, or a
+    callable of the epoch index — e.g. an ISU plan's update set).
+    ``forward_params`` supports PipeDream-style delayed gradients: when
+    given, it returns the (stale) parameter dict to run the training
+    forward/backward under, while the optimizer still steps the live
+    parameters.
+    """
+    if epochs < 1:
+        raise TrainingError(f"epochs must be >= 1, got {epochs}")
+    if graph.labels is None:
+        raise TrainingError("needs a labelled graph")
+    from repro.gcn.losses import accuracy, cross_entropy_loss
+    from repro.gcn.optim import Adam
+
+    train_idx, test_idx = split_vertices(
+        graph.num_vertices, seed, train_fraction,
+    )
+    optimizer = Adam(learning_rate=learning_rate)
+    best = 0.0
+    for epoch in range(epochs):
+        stale = None if forward_params is None else forward_params(epoch)
+        live = model.params
+        if stale is not None:
+            model.params = stale
+        logits, cache = model.forward(
+            graph, graph.features, training=True,
+            **_resolve_kwargs(forward_kwargs, epoch),
+        )
+        _, grad_logits = cross_entropy_loss(
+            logits[train_idx], graph.labels[train_idx],
+        )
+        grad_full = np.zeros_like(logits)
+        grad_full[train_idx] = grad_logits
+        grads = model.backward(graph, cache, grad_full)
+        if stale is not None:
+            model.params = live
+        optimizer.step(model.params, grads)
+
+        eval_logits, _ = model.forward(
+            graph, graph.features, **_resolve_kwargs(eval_kwargs, epoch),
+        )
+        best = max(best, accuracy(
+            eval_logits[test_idx], graph.labels[test_idx],
+        ))
+    return best

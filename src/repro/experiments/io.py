@@ -28,6 +28,7 @@ def results_to_dict(results: Sequence[ExperimentResult]) -> dict:
                 "title": r.title,
                 "notes": r.notes,
                 "rows": r.rows,
+                "metadata": r.metadata,
             }
             for r in results
         ],
@@ -55,6 +56,7 @@ def results_from_dict(payload: dict) -> List[ExperimentResult]:
                 title=entry["title"],
                 notes=entry.get("notes", ""),
                 rows=list(entry.get("rows", [])),
+                metadata=dict(entry.get("metadata", {})),
             ))
         except (KeyError, TypeError) as exc:
             raise ExperimentError(f"malformed result entry: {exc}") from exc

@@ -1,117 +1,96 @@
-"""Experiment registry and the run-everything driver.
+"""Experiment registry facade and the run-everything driver.
 
-``REGISTRY`` maps experiment ids to their run functions; ``run_all``
-executes every experiment (optionally with quick settings) and returns the
-results in registry order — this is what regenerates EXPERIMENTS.md.
+The registry is **declarative**: each experiment module registers an
+:class:`~repro.runtime.ExperimentSpec` by decorating its run function
+with :func:`repro.runtime.experiment`, and :func:`specs` collects them
+by importing the package — there is no hand-maintained id→function map.
+``REGISTRY``, ``QUICK_OVERRIDES``, and ``WALL_CLOCK_EXPERIMENTS`` are
+derived views over the collected specs, computed lazily via module
+``__getattr__`` so importing this module stays cheap.
 
-``run_all(..., jobs=N)`` fans the experiments out over a process pool.
-Every experiment is seeded deterministically from its id before running
-(in the serial path too), so a parallel sweep produces byte-identical
-tables to a serial one — the scheduling only changes wall-clock time.
-The one exception is :data:`WALL_CLOCK_EXPERIMENTS`: experiments whose
-*results* are wall-clock measurements differ between any two runs,
-serial or parallel.
+``run_all`` executes experiments under a :class:`~repro.runtime.Session`
+(the default one unless given) and returns results in registry order —
+this is what regenerates EXPERIMENTS.md.  ``run_all(..., jobs=N)`` fans
+out over a process pool: the session's spec ships to each worker (specs
+are plain dicts), workloads every experiment needs are prefetched into
+the shared cache first, and submission order is longest-first from
+recorded wall times with spec cost hints breaking ties for unmeasured
+experiments.  All artifacts are content-keyed and every run function
+derives its randomness from explicit seeds, so a parallel sweep produces
+byte-identical tables to a serial one — the scheduling only changes
+wall-clock time.  The one exception is :data:`WALL_CLOCK_EXPERIMENTS`:
+experiments whose *results* are wall-clock measurements differ between
+any two runs, serial or parallel.
 """
 
 from __future__ import annotations
 
 import hashlib
+import inspect
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
-from repro.experiments import (
-    abl_allocator,
-    abl_crossbar_size,
-    abl_device_variation,
-    abl_endurance,
-    abl_features,
-    abl_isu_design,
-    abl_model_family,
-    abl_motivation,
-    abl_quantization,
-    abl_samples,
-    abl_scheduler,
-    abl_weight_staleness,
-    abl_time_to_accuracy,
-    fig04_idle,
-    fig05_example,
-    fig06_degree,
-    fig07_osu,
-    fig09_predictor,
-    fig13_overall,
-    fig14_ablation,
-    fig15_idle_batch,
-    fig16_sensitivity,
-    fig17_scalability,
-    tab05_accuracy,
-    tab06_replicas,
-    tab07_ml_vs_profiling,
-)
 from repro.experiments.harness import ExperimentResult
+from repro.runtime import (
+    ExperimentSpec,
+    RunSpec,
+    Session,
+    collect_specs,
+    default_session,
+)
 
-REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
-    "fig04": fig04_idle.run,
-    "fig05": fig05_example.run,
-    "fig06": fig06_degree.run,
-    "fig07": fig07_osu.run,
-    "fig09": fig09_predictor.run,
-    "fig13": fig13_overall.run,
-    "fig14": fig14_ablation.run,
-    "fig15": fig15_idle_batch.run,
-    "fig16": fig16_sensitivity.run,
-    "fig17": fig17_scalability.run,
-    "tab05": tab05_accuracy.run,
-    "tab06": tab06_replicas.run,
-    "tab07": tab07_ml_vs_profiling.run,
-    # Ablations beyond the paper's figures (DESIGN.md section 3 footnote).
-    "abl-allocator": abl_allocator.run,
-    "abl-isu": abl_isu_design.run,
-    "abl-tta": abl_time_to_accuracy.run,
-    "abl-variation": abl_device_variation.run,
-    "abl-crossbar-size": abl_crossbar_size.run,
-    "abl-features": abl_features.run,
-    "abl-motivation": abl_motivation.run,
-    "abl-endurance": abl_endurance.run,
-    "abl-samples": abl_samples.run,
-    "abl-quantization": abl_quantization.run,
-    "abl-scheduler": abl_scheduler.run,
-    "abl-weight-staleness": abl_weight_staleness.run,
-    "abl-model-family": abl_model_family.run,
-}
-
-# Experiments that report measured wall-clock times (e.g. allocator
-# decision latency): their tables are not reproducible run-to-run, with
-# or without --jobs, and determinism checks must exclude them.
-WALL_CLOCK_EXPERIMENTS = frozenset({"abl-allocator"})
-
-# Parameter overrides that make a full sweep finish quickly (used by CI
-# smoke runs); the defaults reproduce the paper-fidelity versions.
-QUICK_OVERRIDES: Dict[str, dict] = {
-    "fig09": {"num_samples": 400},
-    "fig16": {"epochs": 12, "thetas": (0.4, 0.6, 0.8)},
-    "tab05": {"epochs": 12},
-    "abl-tta": {"epochs": 8},
-    "abl-variation": {"epochs": 8, "sigmas": (0.0, 0.05)},
-    "abl-features": {"num_samples": 400},
-    "abl-samples": {"sample_counts": (100, 400)},
-    "abl-quantization": {"weight_bits": (2, 4), "epochs": 10},
-    "abl-weight-staleness": {"delays": (0, 4), "epochs": 10},
-    "abl-model-family": {"epochs": 10},
-}
+_specs: Optional[Dict[str, ExperimentSpec]] = None
 
 
-def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run one experiment by id."""
-    runner = REGISTRY.get(experiment_id)
-    if runner is None:
+def specs() -> Dict[str, ExperimentSpec]:
+    """The collected experiment specs, in registry (rendering) order."""
+    global _specs
+    if _specs is None:
+        _specs = collect_specs("repro.experiments")
+    return _specs
+
+
+def __getattr__(name: str) -> Any:
+    # Derived, lazily computed views over the spec collection.  Computed
+    # per access (the collection itself is cached) so they always agree
+    # with the specs.
+    if name == "REGISTRY":
+        return {spec_id: spec.run for spec_id, spec in specs().items()}
+    if name == "WALL_CLOCK_EXPERIMENTS":
+        return frozenset(
+            spec_id for spec_id, spec in specs().items() if spec.wall_clock
+        )
+    if name == "QUICK_OVERRIDES":
+        return {
+            spec_id: dict(spec.quick)
+            for spec_id, spec in specs().items()
+            if spec.quick
+        }
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def run_experiment(
+    experiment_id: str,
+    session: Optional[Session] = None,
+    **kwargs,
+) -> ExperimentResult:
+    """Run one experiment by id, optionally under an explicit session."""
+    spec = specs().get(experiment_id)
+    if spec is None:
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; "
-            f"available: {', '.join(REGISTRY)}"
+            f"available: {', '.join(specs())}"
         )
-    return runner(**kwargs)
+    # Some experiments (e.g. fig05's fixed worked example) use no session
+    # artifacts and take no ``session`` parameter; only thread it through
+    # where the run function declares it.
+    if (
+        session is not None
+        and "session" in inspect.signature(spec.run).parameters
+    ):
+        kwargs["session"] = session
+    return spec.run(**kwargs)
 
 
 def validate_experiment_ids(
@@ -122,12 +101,13 @@ def validate_experiment_ids(
     Raises one :class:`ExperimentError` naming *all* unknown ids up
     front, so a long sweep never fails midway through a partial run.
     """
-    ids = list(REGISTRY) if only is None else list(only)
-    unknown = [i for i in ids if i not in REGISTRY]
+    known = specs()
+    ids = list(known) if only is None else list(only)
+    unknown = [i for i in ids if i not in known]
     if unknown:
         raise ExperimentError(
             f"unknown experiment id(s): {', '.join(unknown)}; "
-            f"available: {', '.join(REGISTRY)}"
+            f"available: {', '.join(known)}"
         )
     return ids
 
@@ -138,21 +118,32 @@ def experiment_seed(experiment_id: str) -> int:
     return int.from_bytes(digest[:4], "big")
 
 
-def _execute(task: Tuple[str, dict]) -> ExperimentResult:
-    """Run one experiment under its deterministic seed.
+def _execute(
+    task: Tuple[str, dict, Optional[dict]],
+    session: Optional[Session] = None,
+) -> ExperimentResult:
+    """Run one experiment and stamp its provenance.
 
-    Used verbatim by the serial loop and the worker processes, which is
-    what makes ``jobs=N`` byte-identical to ``jobs=1``: any experiment
-    that touches numpy's legacy global RNG sees the same state either
-    way.
+    Used verbatim by the serial loop and the worker processes.  The
+    task carries the session's ``RunSpec`` as a plain dict (sessions
+    themselves hold unpicklable state); a worker rebuilds an equivalent
+    session from it, which is safe because equal specs resolve to
+    byte-identical artifacts.
     """
-    experiment_id, overrides = task
-    np.random.seed(experiment_seed(experiment_id))
-    return run_experiment(experiment_id, **overrides)
+    experiment_id, overrides, spec_payload = task
+    if session is None:
+        session = (
+            Session(RunSpec.from_dict(spec_payload))
+            if spec_payload is not None
+            else default_session()
+        )
+    result = run_experiment(experiment_id, session=session, **overrides)
+    return session.stamp(result, experiment_id)
 
 
 def _execute_timed(
-    task: Tuple[str, dict],
+    task: Tuple[str, dict, Optional[dict]],
+    session: Optional[Session] = None,
 ) -> Tuple[ExperimentResult, float, Dict[str, Dict[str, float]]]:
     """:func:`_execute` plus wall time and its phase-attributed profile.
 
@@ -164,7 +155,7 @@ def _execute_timed(
 
     before = profile.snapshot()
     start = time.perf_counter()
-    result = _execute(task)
+    result = _execute(task, session=session)
     seconds = time.perf_counter() - start
     return result, seconds, profile.since(before)
 
@@ -174,13 +165,14 @@ def run_all(
     only: Optional[Sequence[str]] = None,
     jobs: int = 1,
     phase_log: Optional[Dict[str, dict]] = None,
+    session: Optional[Session] = None,
 ) -> List[ExperimentResult]:
     """Run every registered experiment (registry order).
 
     Parameters
     ----------
     quick:
-        Apply :data:`QUICK_OVERRIDES` (CI smoke parameters).
+        Apply each spec's quick overrides (CI smoke parameters).
     only:
         Subset of experiment ids; all ids are validated before anything
         runs.
@@ -195,6 +187,10 @@ def run_all(
         ``{id: {"wall_s": seconds, "phases": {phase: {"seconds",
         "calls"}}}}`` — the per-experiment half of
         ``profile.phase_report``.
+    session:
+        The :class:`~repro.runtime.Session` to run under; defaults to
+        the process-default session.  Its spec travels to workers and
+        its provenance is stamped into every result.
 
     Both paths record per-experiment wall times so later parallel runs
     schedule longest-first from measured durations.
@@ -204,22 +200,36 @@ def run_all(
     if jobs < 1:
         raise ExperimentError(f"jobs must be >= 1, got {jobs}")
     ids = validate_experiment_ids(only)
+    session = session or default_session()
+    spec_payload = session.spec.to_dict()
     tasks = [
         (experiment_id,
-         QUICK_OVERRIDES.get(experiment_id, {}) if quick else {})
+         dict(specs()[experiment_id].quick) if quick else {},
+         spec_payload)
         for experiment_id in ids
     ]
     if jobs == 1 or len(tasks) <= 1:
         results = []
         durations = {}
         for task in tasks:
-            result, seconds, phases = _execute_timed(task)
+            result, seconds, phases = _execute_timed(task, session=session)
             results.append(result)
             durations[sweep.wall_time_key(task[0], quick)] = seconds
             if phase_log is not None:
                 phase_log[task[0]] = {"wall_s": seconds, "phases": phases}
         sweep.record_wall_times(durations)
         return results
+    # Warm the shared cache with every workload the scheduled specs
+    # declare, so forked workers inherit them instead of regenerating.
+    session.prefetch(
+        name for experiment_id in ids
+        for name in specs()[experiment_id].datasets
+    )
+    cost_hints = {
+        experiment_id: specs()[experiment_id].cost_hint
+        for experiment_id in ids
+    }
     return sweep.run_scheduled(
         tasks, jobs, quick, _execute_timed, phase_log=phase_log,
+        cost_hints=cost_hints,
     )

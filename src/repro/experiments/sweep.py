@@ -162,20 +162,30 @@ def record_wall_times(times: Dict[str, float]) -> None:
         pass  # persistence is advisory; scheduling falls back gracefully
 
 
-def lpt_order(experiment_ids: Sequence[str], quick: bool) -> List[int]:
+def lpt_order(
+    experiment_ids: Sequence[str],
+    quick: bool,
+    cost_hints: Optional[Dict[str, float]] = None,
+) -> List[int]:
     """Submission order: longest processing time first.
 
     Experiments without a recorded duration sort before everything else
     (an unknown job could be the long pole; starting it late is the one
-    unrecoverable mistake).  Ties keep the request order.
+    unrecoverable mistake); among those, declared spec ``cost_hints``
+    order the likely-longest first.  Ties keep the request order.
     """
     times = load_wall_times()
+    hints = cost_hints or {}
     known = [times.get(wall_time_key(eid, quick)) for eid in experiment_ids]
     return sorted(
         range(len(experiment_ids)),
         key=lambda i: (
             known[i] is not None,
-            -(known[i] or 0.0),
+            -(
+                known[i]
+                if known[i] is not None
+                else hints.get(experiment_ids[i], 0.0)
+            ),
             i,
         ),
     )
@@ -200,16 +210,19 @@ def _pool_context() -> mp.context.BaseContext:
 
 
 def run_scheduled(
-    tasks: Sequence[Tuple[str, dict]],
+    tasks: Sequence[Tuple],
     jobs: int,
     quick: bool,
-    execute: Callable[[Tuple[str, dict]], Tuple[object, float, dict]],
+    execute: Callable[[Tuple], Tuple[object, float, dict]],
     phase_log: Optional[Dict[str, dict]] = None,
+    cost_hints: Optional[Dict[str, float]] = None,
 ) -> List[object]:
     """Fan ``tasks`` out over a worker pool, longest jobs first.
 
-    ``execute`` must return ``(result, seconds, phases)``; measured
-    durations feed the next run's LPT ordering, and the per-experiment
+    Each task is a tuple whose first element is the experiment id;
+    ``execute`` must return ``(result, seconds, phases)``.  Measured
+    durations feed the next run's LPT ordering (with ``cost_hints``
+    breaking ties among unmeasured experiments), and the per-experiment
     phase profiles fill ``phase_log`` (same shape as the serial path's).
     Results come back in *task* order, regardless of scheduling.
     """
@@ -220,7 +233,9 @@ def run_scheduled(
         # Seed the (possibly fresh) disk tier from the parent's warm
         # memory so workers share pre-sweep artifacts even under spawn.
         get_cache().spill_to_disk()
-        order = lpt_order([task[0] for task in tasks], quick)
+        order = lpt_order(
+            [task[0] for task in tasks], quick, cost_hints=cost_hints,
+        )
         results: List[object] = [None] * len(tasks)
         durations: Dict[str, float] = {}
         with ProcessPoolExecutor(

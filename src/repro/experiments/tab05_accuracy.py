@@ -8,24 +8,34 @@ low-degree vertices) and never loses more than ~0.65%.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.experiments.context import get_workload
 from repro.experiments.harness import ExperimentResult
 from repro.gcn.trainer import make_trainer
 from repro.graphs.datasets import get_spec
 from repro.mapping.selective import build_update_plan
+from repro.runtime import Session, default_session, experiment
 
 TAB05_DATASETS = ("ddi", "collab", "ppa", "proteins", "arxiv")
 
 
+@experiment(
+    "tab05",
+    title="Accuracy impact of ISU (GoPIM-Vanilla vs GoPIM)",
+    datasets=TAB05_DATASETS,
+    cost_hint=25.0,
+    quick={"epochs": 12},
+    order=110,
+)
 def run(
     datasets: Sequence[str] = TAB05_DATASETS,
     epochs: int = 40,
     seed: int = 0,
     scale: float = 1.0,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Reproduce Table V's accuracy comparison."""
+    session = session or default_session()
     result = ExperimentResult(
         experiment_id="tab05",
         title="Accuracy impact of ISU (GoPIM-Vanilla vs GoPIM)",
@@ -36,7 +46,7 @@ def run(
     )
     for dataset in datasets:
         spec = get_spec(dataset)
-        graph = get_workload(dataset, seed=seed, scale=scale).graph
+        graph = session.graph(dataset, seed=seed, scale=scale)
         vanilla = make_trainer(graph, spec.task, random_state=seed)
         vanilla_acc = vanilla.train(epochs=epochs).best_test_metric
         plan = build_update_plan(graph, "isu")

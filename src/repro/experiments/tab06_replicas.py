@@ -9,25 +9,32 @@ structure at its scaled-down graph and budget.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.accelerators.catalog import gopim, serial
-from repro.experiments.context import (
-    experiment_config,
-    get_predictor,
-    get_workload,
-)
 from repro.experiments.harness import ExperimentResult
+from repro.runtime import Session, default_session, experiment
 
 
+@experiment(
+    "tab06",
+    title="Crossbar allocation detail",
+    datasets=("ddi",),
+    cost_hint=2.0,
+    order=120,
+)
 def run(
     dataset: str = "ddi",
     seed: int = 0,
     scale: float = 1.0,
     use_predictor: bool = True,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Reproduce Table VI's allocation detail."""
-    config = experiment_config()
-    predictor = get_predictor(seed=seed) if use_predictor else None
-    workload = get_workload(dataset, seed=seed, scale=scale)
+    session = session or default_session()
+    config = session.config
+    predictor = session.predictor(seed=seed) if use_predictor else None
+    workload = session.workload(dataset, seed=seed, scale=scale)
     result = ExperimentResult(
         experiment_id="tab06",
         title=f"Crossbar allocation detail ({dataset})",

@@ -9,26 +9,31 @@ the ML route cuts estimation overhead by ~94%.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.accelerators.catalog import gopim, serial
-from repro.experiments.context import (
-    experiment_config,
-    get_predictor,
-    get_workload,
-)
 from repro.experiments.harness import ExperimentResult
 from repro.predictor.profiler import profile_stage_times
+from repro.runtime import Session, default_session, experiment
 
 
+@experiment(
+    "tab07",
+    title="GoPIM speedups: ML predictor vs profiling",
+    datasets=("ddi", "collab", "ppa", "proteins", "arxiv"),
+    cost_hint=6.0,
+    order=130,
+)
 def run(
     datasets: Sequence[str] = ("ddi", "collab", "ppa", "proteins", "arxiv"),
     seed: int = 0,
     scale: float = 1.0,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Reproduce Table VII's ML vs profiling comparison."""
-    config = experiment_config()
-    predictor = get_predictor(seed=seed)
+    session = session or default_session()
+    config = session.config
+    predictor = session.predictor(seed=seed)
     result = ExperimentResult(
         experiment_id="tab07",
         title="GoPIM speedups: ML predictor vs profiling (normalised to Serial)",
@@ -39,7 +44,7 @@ def run(
         ),
     )
     for dataset in datasets:
-        workload = get_workload(dataset, seed=seed, scale=scale)
+        workload = session.workload(dataset, seed=seed, scale=scale)
         base = serial().run(workload, config)
         ml_report = gopim(time_predictor=predictor).run(workload, config)
         # Profiling route: exact stage times via a measured serial epoch.

@@ -10,7 +10,7 @@ See :mod:`repro.perf.cache` for the cache itself.  Consumers:
 * :func:`repro.graphs.datasets.load_dataset` — generated dataset graphs;
 * :func:`repro.predictor.dataset.generate_dataset` — predictor training
   sets;
-* :mod:`repro.experiments.context` — workloads and fitted predictors;
+* :class:`repro.runtime.Session` — workloads and fitted predictors;
 * :class:`repro.accelerators.base.AcceleratorModel` — stage-latency
   tables / allocator inputs.
 

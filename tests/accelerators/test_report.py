@@ -8,10 +8,11 @@ from repro.accelerators.report import energy_table, render_report, stage_table
 
 @pytest.fixture(scope="module")
 def report(request):
-    from repro.experiments.context import experiment_config, get_workload
+    from repro.runtime import default_session
 
-    workload = get_workload("cora", seed=0)
-    return gopim().run(workload, experiment_config())
+    session = default_session()
+    workload = session.workload("cora", seed=0)
+    return gopim().run(workload, session.config)
 
 
 def test_stage_table_rows(report):

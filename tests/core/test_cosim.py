@@ -6,17 +6,17 @@ import pytest
 from repro.accelerators import gopim, gopim_vanilla, serial
 from repro.core import CoSimResult, CoSimulation
 from repro.errors import TrainingError
-from repro.experiments.context import experiment_config, get_workload
+from repro.runtime import default_session
 
 
 @pytest.fixture(scope="module")
 def arxiv_graph():
-    return get_workload("arxiv", seed=0, scale=0.5).graph
+    return default_session().graph("arxiv", seed=0, scale=0.5)
 
 
 @pytest.fixture(scope="module")
 def config():
-    return experiment_config()
+    return default_session().config
 
 
 def test_cosim_result_accounting():

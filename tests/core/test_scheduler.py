@@ -4,20 +4,21 @@ import pytest
 
 from repro.core.scheduler import MultiTenantScheduler
 from repro.errors import AllocationError
-from repro.experiments.context import experiment_config, get_workload
+from repro.runtime import default_session
 
 
 @pytest.fixture(scope="module")
 def workloads():
+    session = default_session()
     return [
-        get_workload("cora", seed=0),
-        get_workload("ddi", seed=0),
+        session.workload("cora", seed=0),
+        session.workload("ddi", seed=0),
     ]
 
 
 @pytest.fixture(scope="module")
 def scheduler():
-    return MultiTenantScheduler(config=experiment_config())
+    return MultiTenantScheduler(config=default_session().config)
 
 
 def test_equal_split_structure(scheduler, workloads):
@@ -45,7 +46,7 @@ def test_greedy_no_worse_than_equal(scheduler, workloads):
 def test_greedy_respects_total_budget(scheduler, workloads):
     outcome = scheduler.greedy_split(workloads, quanta=8)
     total = sum(p.budget for p in outcome.placements)
-    assert total <= experiment_config().total_crossbars
+    assert total <= default_session().config.total_crossbars
 
 
 def test_greedy_favours_heavier_job(scheduler, workloads):

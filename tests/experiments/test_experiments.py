@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.experiments import clear_caches, context
 from repro.experiments import fig04_idle, fig05_example, fig06_degree
 from repro.experiments import fig07_osu, fig13_overall, fig14_ablation
 from repro.experiments import fig15_idle_batch, fig16_sensitivity
@@ -133,11 +132,13 @@ def test_tab07_ml_close_to_profiling():
     assert row["profiling overhead (ms)"] > 0
 
 
-def test_context_caches():
-    clear_caches()
-    a = context.get_workload("cora", seed=0)
-    b = context.get_workload("cora", seed=0)
+def test_session_caches():
+    from repro.runtime import Session
+
+    session = Session()
+    a = session.workload("cora", seed=0)
+    b = session.workload("cora", seed=0)
     assert a is b
-    clear_caches()
-    c = context.get_workload("cora", seed=0)
+    session.clear_caches()
+    c = session.workload("cora", seed=0)
     assert c is not a

@@ -75,9 +75,9 @@ def test_scheduler_experiment_rows():
 
 
 def test_model_family_sage_workload_dims():
-    from repro.experiments.context import get_workload
+    from repro.runtime import default_session
 
-    base = get_workload("cora", seed=0)
+    base = default_session().workload("cora", seed=0)
     sage = abl_model_family.sage_workload(base)
     assert sage.layer_dims == [
         (2 * a, b) for a, b in base.layer_dims

@@ -5,7 +5,6 @@ import pytest
 
 from repro import GoPIMSystem, workload_from_dataset
 from repro.accelerators.catalog import gopim, serial
-from repro.experiments.context import experiment_config
 from repro.graphs.datasets import load_dataset
 from repro.hardware.crossbar import Crossbar
 from repro.mapping.tiling import plan_tiling
@@ -13,7 +12,12 @@ from repro.pipeline.simulator import ScheduleMode, simulate_pipeline
 from repro.predictor.dataset import generate_dataset
 from repro.predictor.predictor import PerKindRegressor, TimePredictor
 from repro.predictor.regressors import LinearRegressor
+from repro.runtime import default_session
 from repro.stages.latency import StageTimingModel
+
+
+def experiment_config():
+    return default_session().config
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,57 @@
+"""Static RNG hygiene: no global numpy RNG, no stdlib ``random`` in src.
+
+Determinism (and the byte-identical parallel sweep) rests on every piece
+of randomness flowing from an explicit seed — ``np.random.default_rng``
+generators or :meth:`repro.runtime.Session.rng` streams.  The legacy
+global-state APIs (``np.random.seed`` / ``np.random.rand`` / the stdlib
+``random`` module) would silently couple unrelated subsystems through
+shared hidden state, so this test greps the source tree and fails on any
+use outside the allowed construction surface.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+# The explicit-seed construction surface; everything else on np.random is
+# the legacy global-state API.
+ALLOWED_NP_RANDOM = {"default_rng", "Generator", "SeedSequence", "PCG64"}
+
+NP_RANDOM = re.compile(r"\bnp\.random\.(\w+)|\bnumpy\.random\.(\w+)")
+STDLIB_RANDOM = re.compile(
+    r"^\s*(?:import\s+random\b|from\s+random\s+import\b)", re.MULTILINE,
+)
+
+
+def _source_files():
+    files = sorted(SRC.rglob("*.py"))
+    assert files, f"no sources under {SRC}"
+    return files
+
+
+def test_no_global_numpy_rng_in_src():
+    offenders = []
+    for path in _source_files():
+        for match in NP_RANDOM.finditer(path.read_text()):
+            attr = match.group(1) or match.group(2)
+            if attr not in ALLOWED_NP_RANDOM:
+                offenders.append(f"{path.relative_to(SRC)}: np.random.{attr}")
+    assert not offenders, (
+        "global numpy RNG use (seed all randomness explicitly via "
+        "default_rng or Session.rng):\n" + "\n".join(offenders)
+    )
+
+
+def test_no_stdlib_random_in_src():
+    offenders = [
+        str(path.relative_to(SRC))
+        for path in _source_files()
+        if STDLIB_RANDOM.search(path.read_text())
+    ]
+    assert not offenders, (
+        "stdlib `random` imported (use seeded numpy generators):\n"
+        + "\n".join(offenders)
+    )
