@@ -20,6 +20,11 @@ Times the optimisation targets of the perf PRs against the retained
   refinement) vs the retained per-candidate Python sweep, on a 64-stage
   synthetic problem with deep replica caps.  The two must return
   byte-identical allocations — asserted, not assumed.  Target: >= 10x.
+* **serving** — ``simulate_serving`` (the batched release-time scan
+  engine, round-robin path) vs the scalar ``simulate_serving_reference``
+  event loop on a 4-stage x many-batch serving timeline.  Integer
+  nanoseconds make the two *byte*-identical — asserted like the other
+  fast paths.  Target: >= 10x.
 * **sweep** — the end-to-end quick experiment sweep through ``run_all``,
   serial vs ``jobs=N`` (forked workers, longest-job-first scheduling),
   with content-keyed caches warm in both runs so the delta is
@@ -285,6 +290,61 @@ def bench_allocator(quick: bool) -> Dict[str, object]:
     }
 
 
+def bench_serving(quick: bool) -> Dict[str, object]:
+    """Batched serving timeline engine vs the scalar event loop.
+
+    Round-robin balancing exercises the pure scan path (the JSQ fast
+    path is a native-int sequential loop — faster than the reference,
+    but not the vectorization this bench guards).
+    """
+    from repro.serving.engine import (
+        simulate_serving,
+        simulate_serving_reference,
+    )
+
+    num_stages = 4
+    num_batches = 5_000 if quick else 40_000
+    num_servers = 4
+    repeats = 2 if quick else 5
+    rng = np.random.default_rng(7)
+    dispatch = np.cumsum(
+        rng.integers(100, 5_000, num_batches)
+    ).astype(np.int64)
+    times = rng.integers(
+        500, 20_000, (num_stages, num_batches),
+    ).astype(np.int64)
+
+    vec = best_of(
+        lambda: simulate_serving(dispatch, times, num_servers, "rr"),
+        repeats,
+    )
+    ref = best_of(
+        lambda: simulate_serving_reference(
+            dispatch, times, num_servers, "rr",
+        ),
+        repeats,
+    )
+    a = simulate_serving(dispatch, times, num_servers, "rr")
+    b = simulate_serving_reference(dispatch, times, num_servers, "rr")
+    if not (
+        np.array_equal(a.starts, b.starts)
+        and np.array_equal(a.ends, b.ends)
+        and np.array_equal(a.assignment, b.assignment)
+    ):
+        raise AssertionError(
+            "batched serving engine diverged from the reference event loop"
+        )
+    return {
+        "num_stages": num_stages,
+        "num_batches": num_batches,
+        "num_servers": num_servers,
+        "vectorized_s": vec,
+        "reference_s": ref,
+        "speedup": ref / vec,
+        "bit_identical": True,
+    }
+
+
 def bench_sweep(
     quick: bool, jobs: int, phases_path: Optional[str] = None,
 ) -> Dict[str, object]:
@@ -380,6 +440,7 @@ def main(argv=None) -> int:
         "simulator": bench_simulator(args.quick),
         "functional": bench_functional(args.quick),
         "allocator": bench_allocator(args.quick),
+        "serving": bench_serving(args.quick),
         "sweep": bench_sweep(args.quick, args.jobs, args.phases or None),
     }
     failures = []
@@ -388,6 +449,7 @@ def main(argv=None) -> int:
         ("simulator", 5.0, None),
         ("functional", 20.0, 5.0),
         ("allocator", 10.0, 10.0),
+        ("serving", 10.0, 5.0),
     ):
         section = report[name]
         print(f"{name:<10} {section['speedup']:8.1f}x "

@@ -31,7 +31,9 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 DEFAULT_BASELINE = os.path.join(HERE, "BENCH_baseline_quick.json")
 
 # Sections whose ``speedup`` field is guarded.
-SPEEDUP_SECTIONS = ("spmm", "simulator", "functional", "allocator")
+SPEEDUP_SECTIONS = (
+    "spmm", "simulator", "functional", "allocator", "serving",
+)
 
 
 def extract_baseline(report: dict) -> dict:

@@ -12,6 +12,9 @@ Commands
     Render a text Gantt chart of the GoPIM pipeline schedule.
 ``experiments [IDS...]``
     Run registered experiments and print their markdown tables.
+``list``
+    Print the collected experiment registry (id, title, datasets, cost
+    hint) without running anything.
 ``run ID``
     Run one experiment under a fresh session and print its table, or
     with ``--json`` the rows plus the full provenance block (run spec,
@@ -119,6 +122,25 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     results = run_all(quick=args.quick, only=args.ids or None,
                       jobs=args.jobs)
     print(combine_markdown(results))
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    from repro.experiments.registry import specs
+
+    collected = specs()
+    width = max(len(spec_id) for spec_id in collected)
+    header = (
+        f"{'id':<{width}}  {'cost':>5}  {'datasets':<22}  title"
+    )
+    print(header)
+    print("-" * len(header))
+    for spec_id, spec in collected.items():
+        datasets = ",".join(spec.datasets) if spec.datasets else "-"
+        print(
+            f"{spec_id:<{width}}  {spec.cost_hint:>5.1f}  "
+            f"{datasets:<22}  {spec.title}"
+        )
     return 0
 
 
@@ -233,6 +255,8 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--jobs", type=int, default=1, metavar="N",
                              help="worker processes")
 
+    sub.add_parser("list", help="print the experiment registry")
+
     run = sub.add_parser(
         "run", help="run one experiment with provenance",
     )
@@ -266,6 +290,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "gantt": _cmd_gantt,
         "experiments": _cmd_experiments,
+        "list": _cmd_list,
         "run": _cmd_run,
         "stats": _cmd_stats,
         "lifetime": _cmd_lifetime,

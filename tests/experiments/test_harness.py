@@ -63,7 +63,8 @@ def test_registry_contains_all_experiments():
                 "abl-variation", "abl-crossbar-size", "abl-features",
                 "abl-motivation", "abl-endurance", "abl-samples",
                 "abl-quantization", "abl-scheduler", "abl-weight-staleness",
-                "abl-model-family"}
+                "abl-model-family", "srv_tail_latency",
+                "srv_batching_policy", "srv_saturation"}
     assert expected == set(REGISTRY)
 
 

@@ -109,7 +109,12 @@ class TestSweepScheduling:
         sweep.record_wall_times({"full:a": 7.0})
         monkeypatch.setattr(sweep, "_session_times", {})  # fresh process
         times = sweep.load_wall_times()
-        assert times == {"quick:a": 1.0, "full:a": 7.0}
+        assert times["quick:a"] == 1.0
+        assert times["full:a"] == 7.0
+        # Seeded defaults (unmeasured srv_* costs) ride along until a
+        # real measurement overrides them.
+        for key, seeded in sweep.SEED_WALL_TIMES.items():
+            assert times[key] == seeded
 
     def test_quick_and_full_times_are_distinct_keys(self):
         from repro.experiments import sweep

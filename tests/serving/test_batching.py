@@ -1,0 +1,108 @@
+"""Batch-formation invariants across the three trigger policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.serving.arrivals import arrival_times_ns, unit_mmpp
+from repro.serving.batching import BatchingPolicy, BatchPlan, form_batches
+
+
+@pytest.fixture(scope="module")
+def arrivals():
+    pattern = unit_mmpp(20_000, np.random.default_rng(0))
+    return arrival_times_ns(pattern, 1e6)  # mean gap 1000 ns
+
+
+POLICIES = [
+    BatchingPolicy("size", max_batch=64),
+    BatchingPolicy("timeout", timeout_ns=5_000),
+    BatchingPolicy("hybrid", max_batch=64, timeout_ns=5_000),
+    BatchingPolicy("hybrid", max_batch=8, timeout_ns=100_000),
+]
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.label())
+class TestInvariants:
+    def test_partition_is_exact(self, arrivals, policy):
+        plan = form_batches(arrivals, policy)
+        assert plan.num_requests == arrivals.size
+        assert plan.boundaries[0] == 0
+        assert plan.boundaries[-1] == arrivals.size
+        assert np.all(np.diff(plan.boundaries) >= 1)
+        assert plan.sizes().sum() == arrivals.size
+
+    def test_dispatch_not_before_last_member(self, arrivals, policy):
+        plan = form_batches(arrivals, policy)
+        last = arrivals[plan.boundaries[1:] - 1]
+        assert np.all(plan.dispatch_ns >= last)
+
+    def test_dispatch_nondecreasing(self, arrivals, policy):
+        plan = form_batches(arrivals, policy)
+        assert np.all(np.diff(plan.dispatch_ns) >= 0)
+
+    def test_batch_of_request_matches_boundaries(self, arrivals, policy):
+        plan = form_batches(arrivals, policy)
+        owner = plan.batch_of_request()
+        assert owner.shape == (arrivals.size,)
+        for k in (0, plan.num_batches // 2, plan.num_batches - 1):
+            lo, hi = plan.boundaries[k], plan.boundaries[k + 1]
+            assert np.all(owner[lo:hi] == k)
+
+
+class TestPolicySemantics:
+    def test_size_batches_are_full(self, arrivals):
+        plan = form_batches(arrivals, BatchingPolicy("size", max_batch=64))
+        sizes = plan.sizes()
+        assert np.all(sizes[:-1] == 64)
+        assert sizes[-1] <= 64
+
+    def test_size_and_hybrid_respect_cap(self, arrivals):
+        for kind in ("size", "hybrid"):
+            policy = BatchingPolicy(kind, max_batch=32, timeout_ns=10_000)
+            assert form_batches(arrivals, policy).sizes().max() <= 32
+
+    def test_timeout_bounds_formation_wait(self, arrivals):
+        timeout = 5_000
+        policy = BatchingPolicy("timeout", timeout_ns=timeout)
+        plan = form_batches(arrivals, policy)
+        first = arrivals[plan.boundaries[:-1]]
+        assert np.all(plan.dispatch_ns == first + timeout)
+
+    def test_hybrid_dispatches_early_when_full(self):
+        # 100 back-to-back arrivals, huge timeout: the size trigger must
+        # fire and dispatch at the 10th member's arrival, not the flush.
+        arrivals = np.arange(100, dtype=np.int64)
+        policy = BatchingPolicy(
+            "hybrid", max_batch=10, timeout_ns=10_000_000,
+        )
+        plan = form_batches(arrivals, policy)
+        assert plan.num_batches == 10
+        assert np.all(plan.sizes() == 10)
+        assert np.all(plan.dispatch_ns == arrivals[9::10])
+
+    def test_hybrid_flushes_partial_on_timeout(self):
+        # Two bursts separated by far more than the timeout.
+        arrivals = np.array([0, 10, 20, 1_000_000], dtype=np.int64)
+        policy = BatchingPolicy("hybrid", max_batch=64, timeout_ns=500)
+        plan = form_batches(arrivals, policy)
+        assert plan.num_batches == 2
+        assert list(plan.sizes()) == [3, 1]
+        assert plan.dispatch_ns[0] == 500
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            BatchingPolicy("fifo")
+        with pytest.raises(ExperimentError):
+            BatchingPolicy("size", max_batch=0)
+        with pytest.raises(ExperimentError):
+            BatchingPolicy("timeout", timeout_ns=0)
+        with pytest.raises(ExperimentError):
+            form_batches(
+                np.array([5, 1], dtype=np.int64), BatchingPolicy("size"),
+            )
+        with pytest.raises(ExperimentError):
+            BatchPlan(
+                boundaries=np.array([0, 2, 2]),
+                dispatch_ns=np.array([10, 20]),
+            )

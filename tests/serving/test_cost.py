@@ -1,0 +1,79 @@
+"""Provisioning and batch-cost properties of the serving cost model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime import RunSpec, Session
+from repro.serving.cost import build_serving_system
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session(RunSpec(seed=0))
+
+
+@pytest.fixture(scope="module")
+def system(session):
+    return build_serving_system(session, "ddi", num_servers=4, max_batch=64)
+
+
+def test_forward_chain_only(system):
+    # Inference runs CO_l, AG_l per layer — no gradient stages.
+    assert all(
+        name.startswith(("CO", "AG")) for name in system.stage_names
+    )
+    assert system.num_stages == len(system.stage_names)
+    assert system.num_stages % 2 == 0
+
+
+def test_allocation_fits_per_server_budget(session, system):
+    total = session.config.total_crossbars
+    per_server = total // system.num_servers
+    used = int((system.replicas * system.crossbars_per_replica).sum())
+    assert np.all(system.replicas >= 1)
+    assert used <= per_server
+    assert system.num_servers * used <= total
+
+
+def test_capacity_positive_and_consistent(system):
+    assert system.capacity_rps > 0
+    expected = (
+        system.num_servers * system.max_batch * 1e9
+        / system.full_batch_time_ns()
+    )
+    assert system.capacity_rps == pytest.approx(expected)
+
+
+def test_server_count_capped_by_chip(session):
+    generous = build_serving_system(session, "ddi", num_servers=10_000)
+    assert 1 <= generous.num_servers <= 10_000
+    single = build_serving_system(session, "ddi", num_servers=1)
+    assert single.num_servers == 1
+
+
+def test_batch_times_scale_with_work(system):
+    # Timeout batching can form batches far beyond max_batch, so the
+    # cost model must handle sizes past the replica count too.
+    sizes = np.array([16, 16, 256], dtype=np.int64)
+    edges = np.array([100, 400, 1600], dtype=np.int64)
+    times = system.batch_times_ns(sizes, edges)
+    assert times.shape == (system.num_stages, 3)
+    assert times.dtype == np.int64
+    assert np.all(times >= 0)
+    edge_rows = np.flatnonzero(system.is_edge_stage)
+    node_rows = np.flatnonzero(~system.is_edge_stage)
+    # Edge stages saturate their replicas well before these edge counts,
+    # so more edges means proportionally more time.
+    assert np.all(times[edge_rows, 1] > times[edge_rows, 0])
+    # Node-stage replicas cap at the batch size: below the replica count
+    # batches finish in constant time, beyond it time grows.
+    assert np.all(times[node_rows, 1] == times[node_rows, 0])
+    assert np.all(times[node_rows, 2] > times[node_rows, 0])
+
+
+def test_validation(session):
+    with pytest.raises(ConfigError):
+        build_serving_system(session, "ddi", num_servers=0)
+    with pytest.raises(ConfigError):
+        build_serving_system(session, "ddi", max_batch=0)

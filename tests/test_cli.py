@@ -41,6 +41,18 @@ def test_experiments_command(capsys):
     assert "| allocation |" in out
 
 
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    # Registry columns and both old and new experiment families.
+    assert "id" in out and "cost" in out and "datasets" in out
+    assert "fig13" in out
+    for srv_id in ("srv_tail_latency", "srv_batching_policy",
+                   "srv_saturation"):
+        assert srv_id in out
+    assert "Serving tail latency vs offered load" in out
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
