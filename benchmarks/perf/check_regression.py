@@ -32,7 +32,7 @@ DEFAULT_BASELINE = os.path.join(HERE, "BENCH_baseline_quick.json")
 
 # Sections whose ``speedup`` field is guarded.
 SPEEDUP_SECTIONS = (
-    "spmm", "simulator", "functional", "allocator", "serving",
+    "spmm", "simulator", "functional", "allocator", "serving", "training",
 )
 
 

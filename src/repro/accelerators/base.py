@@ -33,7 +33,7 @@ from repro.hardware.crossbar import CrossbarStats
 from repro.hardware.energy import EnergyBreakdown, EnergyModel
 from repro.hardware.noc import MeshNoc
 from repro.mapping.selective import UpdatePlan, build_update_plan
-from repro.perf import cache_key, get_cache
+from repro.perf import cache_key, get_cache, profile
 from repro.pipeline.simulator import (
     PipelineResult,
     ScheduleMode,
@@ -238,12 +238,18 @@ class AcceleratorModel:
         return float(floors.sum() / timing.workload.num_microbatches)
 
     # ------------------------------------------------------------------
+    @profile.phase(profile.PHASE_ACCELERATOR)
     def run(
         self,
         workload: Workload,
         config: HardwareConfig = DEFAULT_CONFIG,
     ) -> AcceleratorReport:
-        """Simulate one training epoch and account time + energy."""
+        """Simulate one training epoch and account time + energy.
+
+        Attributed to the ``accelerator_sim`` phase; the allocation
+        search and timing-model phases nest inside it and keep their own
+        (exclusive) time.
+        """
         timing = self.build_timing_model(workload, config)
         effective = timing.workload
         stages = timing.stages

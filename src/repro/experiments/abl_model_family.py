@@ -18,7 +18,11 @@ import numpy as np
 
 from repro.accelerators.catalog import gopim, serial
 from repro.errors import ExperimentError
-from repro.experiments.harness import ExperimentResult, train_with_split
+from repro.experiments.harness import (
+    ExperimentResult,
+    train_with_split,
+    train_with_split_replicas,
+)
 from repro.gcn.model import GCN, StaleFeatureStore
 from repro.gcn.sage import GraphSAGE
 from repro.mapping.selective import build_update_plan
@@ -97,8 +101,13 @@ def run(
     ):
         base_report = serial().run(workload, config)
         gopim_report = gopim().run(workload, config)
-        full_acc = _train(model_fn(), graph, None, epochs, seed)
-        isu_acc = _train(model_fn(), graph, plan, epochs, seed)
+        # Full-update + ISU replicas share seed/dims/split: the GCN pair
+        # batches into one stacked pass; the GraphSAGE pair falls back
+        # to the serial loop inside the same call.
+        full_acc, isu_acc = train_with_split_replicas(
+            [model_fn(), model_fn()], graph, epochs, seed,
+            update_plans=[None, plan], use_store=True,
+        )
         result.rows.append({
             "family": family,
             "speedup vs Serial": (

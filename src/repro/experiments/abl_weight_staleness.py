@@ -14,7 +14,11 @@ from collections import deque
 from typing import Optional, Sequence
 
 from repro.errors import TrainingError
-from repro.experiments.harness import ExperimentResult, train_with_split
+from repro.experiments.harness import (
+    ExperimentResult,
+    train_with_split,
+    train_with_split_replicas,
+)
 from repro.gcn.model import GCN
 from repro.runtime import Session, default_session, experiment
 
@@ -74,11 +78,25 @@ def run(
             "staleness'."
         ),
     )
-    baseline = None
     for delay in delays:
-        acc = train_with_delay(
-            graph, delay, epochs=epochs, seed=seed,
+        if delay < 0:
+            raise TrainingError("delay must be >= 0")
+    # One replica per delay, identical model/seed/split: a single
+    # stacked pass replays every staleness depth at once.
+    hidden_dim = 32
+    models = [
+        GCN(
+            [(graph.feature_dim, hidden_dim),
+             (hidden_dim, graph.num_classes)],
+            random_state=seed,
         )
+        for _ in delays
+    ]
+    accs = train_with_split_replicas(
+        models, graph, epochs, seed, param_delays=list(delays),
+    )
+    baseline = None
+    for delay, acc in zip(delays, accs):
         if baseline is None:
             baseline = acc
         result.rows.append({

@@ -12,7 +12,7 @@ from typing import Optional, Sequence
 from repro.accelerators.catalog import gopim, serial
 from repro.experiments.harness import ExperimentResult
 from repro.runtime import Session, default_session, experiment
-from repro.gcn.trainer import make_trainer
+from repro.gcn.batched import ReplicaSpec, train_replicas
 from repro.graphs.datasets import get_spec
 from repro.mapping.selective import build_update_plan
 
@@ -40,16 +40,26 @@ def accuracy_vs_theta(
             "plateaus of ~10 points around the optimum."
         ),
     )
-    baseline = make_trainer(graph, spec.task, random_state=seed)
-    base_metric = baseline.train(epochs=epochs).best_test_metric
+    # One replica per theta plus the full-update baseline, all sharing a
+    # seed/dims/epochs: a single batched group per dataset.
+    plans = [build_update_plan(graph, "isu", theta=theta) for theta in thetas]
+    runs = train_replicas(
+        [
+            ReplicaSpec(
+                graph=graph, task=spec.task, epochs=epochs,
+                random_state=seed, update_plan=plan,
+            )
+            for plan in [None] + plans
+        ],
+        session=session,
+    )
+    base_metric = runs[0].best_test_metric
     result.rows.append({
         "theta": 1.0, "strategy": "full update",
         "best accuracy": base_metric, "drop vs full": 0.0,
     })
-    for theta in thetas:
-        plan = build_update_plan(graph, "isu", theta=theta)
-        trainer = make_trainer(graph, spec.task, random_state=seed)
-        metric = trainer.train(epochs=epochs, update_plan=plan).best_test_metric
+    for theta, run in zip(thetas, runs[1:]):
+        metric = run.best_test_metric
         result.rows.append({
             "theta": theta, "strategy": "ISU",
             "best accuracy": metric,

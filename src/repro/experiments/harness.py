@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ExperimentError, TrainingError
+from repro.perf import profile
 
 
 @dataclass
@@ -118,6 +119,7 @@ def _resolve_kwargs(spec: EpochKwargs, epoch: int) -> Dict[str, Any]:
     return dict(spec)
 
 
+@profile.phase(profile.PHASE_TRAINING)
 def train_with_split(
     model,
     graph,
@@ -184,3 +186,115 @@ def train_with_split(
             eval_logits[test_idx], graph.labels[test_idx],
         ))
     return best
+
+
+def train_with_split_replicas(
+    models: Sequence[Any],
+    graph,
+    epochs: int,
+    seed: int,
+    *,
+    learning_rate: float = 0.01,
+    train_fraction: float = 0.7,
+    update_plans: Optional[Sequence[Any]] = None,
+    use_store: bool = False,
+    param_delays: Optional[Sequence[int]] = None,
+) -> List[float]:
+    """Replica-collecting :func:`train_with_split`: one batched pass.
+
+    Runs R models through the shared ablation loop — same graph, split,
+    epochs, and learning rate — stacked into one ``[R, ...]`` tensor pass
+    (:func:`repro.gcn.batched.train_split_replicas`), returning each
+    model's best test accuracy bit-identical to R serial
+    :func:`train_with_split` calls.  The staleness knobs are declarative
+    so the batched path can reproduce them: ``update_plans`` (one
+    optional :class:`~repro.mapping.selective.UpdatePlan` per model, with
+    ``use_store``) replays the stale-feature-store call shape, and
+    ``param_delays`` replays the PipeDream delayed-gradient shape.
+
+    Falls back to serial :func:`train_with_split` calls — reconstructing
+    the exact per-model ``forward_kwargs``/``forward_params`` closures —
+    when batching cannot be bit-identical: fewer than two models, a
+    non-:class:`~repro.gcn.model.GCN` family (GraphSAGE), per-epoch
+    model randomness (dropout or analog noise), or mismatched layer
+    dims.
+    """
+    from repro.gcn.batched import train_split_replicas
+    from repro.gcn.model import GCN, StaleFeatureStore
+
+    if update_plans is not None and use_store is False:
+        use_store = True
+    plans = (
+        list(update_plans) if update_plans is not None
+        else [None] * len(models)
+    )
+    delays = (
+        list(param_delays) if param_delays is not None
+        else [0] * len(models)
+    )
+    if len(plans) != len(models) or len(delays) != len(models):
+        raise TrainingError("one plan/delay per model required")
+
+    first = models[0] if models else None
+    batchable = (
+        len(models) >= 2
+        and all(type(model) is GCN for model in models)
+        and all(model.dropout == 0.0 for model in models)
+        and all(model.analog_noise_sigma == 0.0 for model in models)
+        and all(model.layer_dims == first.layer_dims for model in models)
+    )
+    if batchable:
+        train_idx, test_idx = split_vertices(
+            graph.num_vertices, seed, train_fraction,
+        )
+        return train_split_replicas(
+            graph, models, epochs, train_idx, test_idx,
+            learning_rate=learning_rate,
+            update_plans=plans if use_store else None,
+            use_store=use_store,
+            param_delays=delays if param_delays is not None else None,
+        )
+
+    results: List[float] = []
+    for model, plan, delay in zip(models, plans, delays):
+        forward_kwargs: EpochKwargs = None
+        eval_kwargs: EpochKwargs = None
+        if use_store:
+            store = StaleFeatureStore(model.num_layers)
+            forward_kwargs = (
+                lambda epoch, _store=store, _plan=plan: {
+                    "store": _store,
+                    "updated": (
+                        None if _plan is None
+                        else _plan.vertices_updated_at(epoch)
+                    ),
+                }
+            )
+            eval_kwargs = {
+                "store": store, "updated": np.array([], dtype=np.int64),
+            }
+        forward_params = None
+        if param_delays is not None:
+            from collections import deque
+
+            snapshots: deque = deque(maxlen=delay + 1)
+
+            def forward_params(
+                _epoch: int,
+                _snapshots: deque = snapshots,
+                _model=model,
+            ) -> Dict[str, np.ndarray]:
+                _snapshots.append(
+                    {k: v.copy() for k, v in _model.params.items()}
+                )
+                return _snapshots[0]
+
+        results.append(train_with_split(
+            model, graph, epochs, seed,
+            learning_rate=learning_rate,
+            train_fraction=train_fraction,
+            forward_kwargs=forward_kwargs,
+            eval_kwargs=eval_kwargs,
+            forward_params=forward_params,
+        ))
+    return results

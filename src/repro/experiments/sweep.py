@@ -70,6 +70,22 @@ SEED_WALL_TIMES: Dict[str, float] = {
     "full:srv_batching_policy": 8.0,
     "quick:srv_saturation": 2.5,
     "full:srv_saturation": 10.0,
+    # Training-heavy experiments, re-seeded after replica batching cut
+    # their trainer time ~7x (cold-cache quick runs on a 1-core worker;
+    # full values are rough 5x extrapolations — only first contact uses
+    # them, and overestimating a long job is the safe LPT direction).
+    "quick:fig16": 6.0,
+    "full:fig16": 30.0,
+    "quick:tab05": 2.5,
+    "full:tab05": 12.0,
+    "quick:tab06": 0.1,
+    "full:tab06": 0.5,
+    "quick:abl-model-family": 0.3,
+    "full:abl-model-family": 2.0,
+    "quick:abl-weight-staleness": 0.1,
+    "full:abl-weight-staleness": 0.5,
+    "quick:abl-variation": 0.2,
+    "full:abl-variation": 1.0,
 }
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.experiments.harness import ExperimentResult
-from repro.gcn.trainer import make_trainer
+from repro.gcn.batched import ReplicaSpec, train_replicas
 from repro.graphs.datasets import get_spec
 from repro.mapping.selective import build_update_plan
 from repro.runtime import Session, default_session, experiment
@@ -47,13 +47,24 @@ def run(
     for dataset in datasets:
         spec = get_spec(dataset)
         graph = session.graph(dataset, seed=seed, scale=scale)
-        vanilla = make_trainer(graph, spec.task, random_state=seed)
-        vanilla_acc = vanilla.train(epochs=epochs).best_test_metric
         plan = build_update_plan(graph, "isu")
-        isu_trainer = make_trainer(graph, spec.task, random_state=seed)
-        isu_acc = isu_trainer.train(
-            epochs=epochs, update_plan=plan,
-        ).best_test_metric
+        # Vanilla + ISU share everything but the update plan: one
+        # batched group of two replicas per dataset.
+        vanilla_run, isu_run = train_replicas(
+            [
+                ReplicaSpec(
+                    graph=graph, task=spec.task, epochs=epochs,
+                    random_state=seed,
+                ),
+                ReplicaSpec(
+                    graph=graph, task=spec.task, epochs=epochs,
+                    random_state=seed, update_plan=plan,
+                ),
+            ],
+            session=session,
+        )
+        vanilla_acc = vanilla_run.best_test_metric
+        isu_acc = isu_run.best_test_metric
         result.rows.append({
             "dataset": dataset,
             "task": spec.task,

@@ -14,6 +14,11 @@ from repro.gcn.checkpoint import (
     restore_model,
     save_checkpoint,
 )
+from repro.gcn.batched import (
+    ReplicaSpec,
+    train_replicas,
+    train_split_replicas,
+)
 from repro.gcn.model import GCN, StaleFeatureStore
 from repro.gcn.sage import GraphSAGE
 from repro.gcn.optim import Adam, SGD
@@ -44,4 +49,7 @@ __all__ = [
     "NodeClassificationTrainer",
     "TrainingResult",
     "make_trainer",
+    "ReplicaSpec",
+    "train_replicas",
+    "train_split_replicas",
 ]

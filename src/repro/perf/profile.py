@@ -56,21 +56,27 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 # BENCH_phases.json consumers and the CI regression guard key on them.
 # ----------------------------------------------------------------------
 PHASE_DATASET = "dataset_generation"     # graph synthesis + predictor samples
-PHASE_TRAINING = "gcn_training"          # node/link trainer epochs
+PHASE_TRAINING = "gcn_training"          # serial node/link trainer epochs
+PHASE_TRAINING_BATCHED = "gcn_training_batched"  # replica-batched epochs
 PHASE_PREDICTOR = "predictor_fit"        # regressor fitting (all families)
 PHASE_ALLOCATION = "allocation_search"   # greedy / baseline / exhaustive
 PHASE_TIMING = "timing_model"            # analytic stage times + pipeline sim
 PHASE_FUNCTIONAL = "functional_sim"      # on-crossbar functional engine
 PHASE_MAPPING = "vertex_mapping"         # vertex maps + update plans
+PHASE_ACCELERATOR = "accelerator_sim"    # accelerator run glue: stage build,
+#                                          graph sparsification, pipeline sim,
+#                                          energy accounting, tenant splits
 
 ALL_PHASES = (
     PHASE_DATASET,
     PHASE_TRAINING,
+    PHASE_TRAINING_BATCHED,
     PHASE_PREDICTOR,
     PHASE_ALLOCATION,
     PHASE_TIMING,
     PHASE_FUNCTIONAL,
     PHASE_MAPPING,
+    PHASE_ACCELERATOR,
 )
 
 # name -> [seconds, calls]; guarded by _lock.
@@ -143,6 +149,20 @@ class phase:
             with self.__class__(self.name):
                 return fn(*args, **kwargs)
         return wrapper
+
+
+def accrue_calls(name: str, count: int) -> None:
+    """Add call credit to a phase without adding time.
+
+    The replica-batched trainer runs one timed ``phase`` block per group
+    but advances R replicas inside it; charging ``R - 1`` extra calls
+    keeps the phase record's ``calls`` field a replica count, comparable
+    with the serial path's one-call-per-run accounting.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if count:
+        _accrue(name, 0.0, calls=count)
 
 
 def snapshot() -> Dict[str, Tuple[float, int]]:
