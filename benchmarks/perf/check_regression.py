@@ -33,6 +33,7 @@ DEFAULT_BASELINE = os.path.join(HERE, "BENCH_baseline_quick.json")
 # Sections whose ``speedup`` field is guarded.
 SPEEDUP_SECTIONS = (
     "spmm", "simulator", "functional", "allocator", "serving", "training",
+    "fast_numerics",
 )
 
 

@@ -120,7 +120,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.registry import run_all
 
     results = run_all(quick=args.quick, only=args.ids or None,
-                      jobs=args.jobs)
+                      jobs=args.jobs,
+                      numerics="fast" if args.fast else None)
     print(combine_markdown(results))
     return 0
 
@@ -150,7 +151,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.registry import run_all, specs
     from repro.runtime import RunSpec, Session
 
-    session = Session(RunSpec(seed=args.seed))
+    session = Session(RunSpec(
+        seed=args.seed,
+        numerics="fast" if args.fast else "exact",
+    ))
     result = run_all(
         quick=args.quick, only=[args.experiment_id], session=session,
     )[0]
@@ -254,6 +258,9 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--quick", action="store_true")
     experiments.add_argument("--jobs", type=int, default=1, metavar="N",
                              help="worker processes")
+    experiments.add_argument("--fast", action="store_true",
+                             help="relaxed-identity fast-numerics tier "
+                                  "(autotuned kernels; provenance-stamped)")
 
     sub.add_parser("list", help="print the experiment registry")
 
@@ -265,6 +272,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="session master seed")
     run.add_argument("--quick", action="store_true",
                      help="fast smoke parameters")
+    run.add_argument("--fast", action="store_true",
+                     help="relaxed-identity fast-numerics tier "
+                          "(autotuned kernels; provenance-stamped)")
     run.add_argument("--json", action="store_true",
                      help="emit rows plus the provenance block as JSON")
 

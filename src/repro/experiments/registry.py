@@ -137,7 +137,11 @@ def _execute(
             if spec_payload is not None
             else default_session()
         )
-    result = run_experiment(experiment_id, session=session, **overrides)
+    # The numerics tier is ambient for the duration of the run: hot
+    # kernels deep in the call tree (Graph SpMM, segment folds) consult
+    # the process mode rather than threading the session everywhere.
+    with session.activate_numerics():
+        result = run_experiment(experiment_id, session=session, **overrides)
     return session.stamp(result, experiment_id)
 
 
@@ -166,6 +170,7 @@ def run_all(
     jobs: int = 1,
     phase_log: Optional[Dict[str, dict]] = None,
     session: Optional[Session] = None,
+    numerics: Optional[str] = None,
 ) -> List[ExperimentResult]:
     """Run every registered experiment (registry order).
 
@@ -191,6 +196,12 @@ def run_all(
         The :class:`~repro.runtime.Session` to run under; defaults to
         the process-default session.  Its spec travels to workers and
         its provenance is stamped into every result.
+    numerics:
+        Override the session's numerics tier for this sweep
+        (``"fast"`` runs every experiment under the relaxed-identity
+        kernel tier; see MODEL.md section 11).  The tier travels to
+        workers inside the spec payload and lands in every result's
+        provenance.
 
     Both paths record per-experiment wall times so later parallel runs
     schedule longest-first from measured durations.
@@ -201,6 +212,10 @@ def run_all(
         raise ExperimentError(f"jobs must be >= 1, got {jobs}")
     ids = validate_experiment_ids(only)
     session = session or default_session()
+    if numerics is not None and numerics != session.spec.numerics:
+        session = Session(
+            session.spec.with_(numerics=numerics), cache=session.cache,
+        )
     spec_payload = session.spec.to_dict()
     tasks = [
         (experiment_id,
@@ -208,13 +223,14 @@ def run_all(
          spec_payload)
         for experiment_id in ids
     ]
+    tier = session.spec.numerics
     if jobs == 1 or len(tasks) <= 1:
         results = []
         durations = {}
         for task in tasks:
             result, seconds, phases = _execute_timed(task, session=session)
             results.append(result)
-            durations[sweep.wall_time_key(task[0], quick)] = seconds
+            durations[sweep.wall_time_key(task[0], quick, tier)] = seconds
             if phase_log is not None:
                 phase_log[task[0]] = {"wall_s": seconds, "phases": phases}
         sweep.record_wall_times(durations)
@@ -231,5 +247,5 @@ def run_all(
     }
     return sweep.run_scheduled(
         tasks, jobs, quick, _execute_timed, phase_log=phase_log,
-        cost_hints=cost_hints,
+        cost_hints=cost_hints, numerics=tier,
     )

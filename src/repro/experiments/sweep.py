@@ -86,6 +86,34 @@ SEED_WALL_TIMES: Dict[str, float] = {
     "full:abl-weight-staleness": 0.5,
     "quick:abl-variation": 0.2,
     "full:abl-variation": 1.0,
+    # Fast-numerics tier (numerics="fast"): the autotuned kernel
+    # strategies cut the warm training/accelerator buckets >= 1.5x, but
+    # a *cold* first-contact run is dominated by dataset generation and
+    # one-off kernel tuning, which the tier barely touches — so the
+    # measured cold quick walls sit only ~10-25% under exact (fig16
+    # 6.6s vs 7.2s, tab05 2.7s vs 3.5s on a loaded 1-core worker).
+    # Seeds reflect the cold numbers; warm re-runs overwrite them with
+    # measured times anyway.  Serving experiments are integer-arithmetic
+    # queueing sims the tier does not touch; their exact seeds carry
+    # over unchanged.
+    "fast-quick:srv_tail_latency": 6.0,
+    "fast-full:srv_tail_latency": 20.0,
+    "fast-quick:srv_batching_policy": 2.0,
+    "fast-full:srv_batching_policy": 8.0,
+    "fast-quick:srv_saturation": 2.5,
+    "fast-full:srv_saturation": 10.0,
+    "fast-quick:fig16": 5.0,
+    "fast-full:fig16": 25.0,
+    "fast-quick:tab05": 2.0,
+    "fast-full:tab05": 10.0,
+    "fast-quick:tab06": 0.1,
+    "fast-full:tab06": 0.4,
+    "fast-quick:abl-model-family": 0.2,
+    "fast-full:abl-model-family": 1.5,
+    "fast-quick:abl-weight-staleness": 0.1,
+    "fast-full:abl-weight-staleness": 0.4,
+    "fast-quick:abl-variation": 0.15,
+    "fast-full:abl-variation": 0.8,
 }
 
 
@@ -139,9 +167,16 @@ def _worker_init(threads: int) -> None:
 # ----------------------------------------------------------------------
 # Wall-time persistence
 # ----------------------------------------------------------------------
-def wall_time_key(experiment_id: str, quick: bool) -> str:
-    """Store key: quick and full runs have unrelated durations."""
-    return f"{'quick' if quick else 'full'}:{experiment_id}"
+def wall_time_key(
+    experiment_id: str, quick: bool, numerics: str = "exact",
+) -> str:
+    """Store key: quick/full (and exact/fast) runs have unrelated
+    durations.  Exact-mode keys keep the historical ``quick:``/``full:``
+    form so recorded times survive the tier's introduction."""
+    mode = "quick" if quick else "full"
+    if numerics != "exact":
+        mode = f"{numerics}-{mode}"
+    return f"{mode}:{experiment_id}"
 
 
 def _times_path() -> Optional[str]:
@@ -195,6 +230,7 @@ def lpt_order(
     experiment_ids: Sequence[str],
     quick: bool,
     cost_hints: Optional[Dict[str, float]] = None,
+    numerics: str = "exact",
 ) -> List[int]:
     """Submission order: longest processing time first.
 
@@ -205,7 +241,10 @@ def lpt_order(
     """
     times = load_wall_times()
     hints = cost_hints or {}
-    known = [times.get(wall_time_key(eid, quick)) for eid in experiment_ids]
+    known = [
+        times.get(wall_time_key(eid, quick, numerics))
+        for eid in experiment_ids
+    ]
     return sorted(
         range(len(experiment_ids)),
         key=lambda i: (
@@ -245,6 +284,7 @@ def run_scheduled(
     execute: Callable[[Tuple], Tuple[object, float, dict]],
     phase_log: Optional[Dict[str, dict]] = None,
     cost_hints: Optional[Dict[str, float]] = None,
+    numerics: str = "exact",
 ) -> List[object]:
     """Fan ``tasks`` out over a worker pool, longest jobs first.
 
@@ -264,6 +304,7 @@ def run_scheduled(
         get_cache().spill_to_disk()
         order = lpt_order(
             [task[0] for task in tasks], quick, cost_hints=cost_hints,
+            numerics=numerics,
         )
         results: List[object] = [None] * len(tasks)
         durations: Dict[str, float] = {}
@@ -280,7 +321,9 @@ def run_scheduled(
             for index, future in futures:
                 result, seconds, phases = future.result()
                 results[index] = result
-                durations[wall_time_key(tasks[index][0], quick)] = seconds
+                durations[
+                    wall_time_key(tasks[index][0], quick, numerics)
+                ] = seconds
                 if phase_log is not None:
                     phase_log[tasks[index][0]] = {
                         "wall_s": seconds, "phases": phases,

@@ -49,7 +49,7 @@ def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
     return float((logits.argmax(axis=1) == labels).mean())
 
 
-def sigmoid(x: np.ndarray) -> np.ndarray:
+def sigmoid(x: np.ndarray, promote: bool = True) -> np.ndarray:
     """Numerically stable logistic function.
 
     Branch-free form of the classic two-sided evaluation: with
@@ -58,6 +58,10 @@ def sigmoid(x: np.ndarray) -> np.ndarray:
     masked implementation performs, so the result is bit-identical, but
     without the boolean gather/scatter copies (about 2x faster on the
     link trainer's score vectors).
+
+    ``promote=False`` keeps the input's float dtype instead of upcasting
+    the result to float64 — the fast-numerics tier evaluates the link
+    trainer's float32 scores in float32 end to end.
     """
     x = np.asarray(x)
     neg = x < 0
@@ -66,7 +70,7 @@ def sigmoid(x: np.ndarray) -> np.ndarray:
     denom = z + 1.0
     num = np.where(neg, z, 1.0)
     out = np.divide(num, denom, out=num)
-    if out.dtype != np.float64:
+    if promote and out.dtype != np.float64:
         out = out.astype(np.float64)
     return out
 
@@ -164,7 +168,9 @@ class EdgeScatter:
         rows: np.ndarray,
         cols: np.ndarray,
         num_vertices: int,
+        dtype: np.dtype = np.float64,
     ) -> None:
+        self.dtype = np.dtype(dtype)
         self.order, self.indptr, self.sorted_cols = edge_scatter_plan(
             rows, cols, num_vertices,
         )
@@ -172,7 +178,7 @@ class EdgeScatter:
         if _sparse is not None:
             self._mat = _sparse.csr_matrix(
                 (
-                    np.empty(self.order.shape[0], dtype=np.float64),
+                    np.empty(self.order.shape[0], dtype=self.dtype),
                     self.sorted_cols,
                     self.indptr,
                 ),
@@ -187,20 +193,25 @@ class EdgeScatter:
     ) -> np.ndarray:
         """``grad[v] = sum_i data[i] * embeddings[cols[i]]`` per plan row.
 
-        ``emb64_buf`` is an optional preallocated ``[V, d]`` float64
-        scratch the embeddings are upcast into (saves the allocation).
+        ``emb64_buf`` is an optional preallocated ``[V, d]`` scratch (in
+        the plan's dtype) the embeddings are cast into (saves the
+        allocation).  When the plan dtype already matches the embedding
+        dtype — the fast tier's float32 scatter — the embeddings are
+        used in place, no cast or copy at all.
         """
         if self._mat is None:
             return apply_edge_scatter(
                 self.order, self.indptr, self.sorted_cols, data, embeddings,
             )
         np.take(data, self.order, out=self._mat.data)
-        if emb64_buf is None:
-            emb64 = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.dtype == self.dtype:
+            emb = embeddings
+        elif emb64_buf is None:
+            emb = np.asarray(embeddings, dtype=self.dtype)
         else:
             np.copyto(emb64_buf, embeddings)
-            emb64 = emb64_buf
-        return self._mat @ emb64
+            emb = emb64_buf
+        return self._mat @ emb
 
 
 def _bce_terms(

@@ -58,7 +58,7 @@ def powerlaw_alpha_mle(degrees: np.ndarray, d_min: int = 2) -> Optional[float]:
     """
     if d_min < 1:
         raise GraphError("d_min must be >= 1")
-    tail = degrees[degrees >= d_min].astype(np.float64)
+    tail = np.asarray(degrees[degrees >= d_min], dtype=np.float64)
     if tail.size < 10:
         return None
     return float(1.0 + tail.size / np.log(tail / (d_min - 0.5)).sum())
@@ -66,7 +66,7 @@ def powerlaw_alpha_mle(degrees: np.ndarray, d_min: int = 2) -> Optional[float]:
 
 def degree_gini(degrees: np.ndarray) -> float:
     """Gini coefficient of the degree distribution (0 = flat, ->1 skewed)."""
-    degrees = np.sort(degrees.astype(np.float64))
+    degrees = np.sort(np.asarray(degrees, dtype=np.float64))
     n = degrees.size
     if n == 0 or degrees.sum() == 0:
         return 0.0
@@ -93,6 +93,10 @@ def compute_stats(graph: Graph) -> GraphStats:
     if graph.num_vertices == 0:
         raise GraphError("cannot summarise an empty graph")
     p50, p90, p99 = np.percentile(degrees, [50, 90, 99])
+    # One float64 conversion shared by both tail statistics (each helper
+    # used to convert the full degree array separately; ``asarray`` on a
+    # float64 input is a no-copy view, so the values are unchanged).
+    degrees64 = degrees.astype(np.float64)
     return GraphStats(
         num_vertices=graph.num_vertices,
         num_edges=graph.num_edges,
@@ -102,7 +106,7 @@ def compute_stats(graph: Graph) -> GraphStats:
         degree_p90=float(p90),
         degree_p99=float(p99),
         density=graph.density,
-        powerlaw_alpha=powerlaw_alpha_mle(degrees),
+        powerlaw_alpha=powerlaw_alpha_mle(degrees64),
         homophily=homophily(graph),
-        degree_gini=degree_gini(degrees),
+        degree_gini=degree_gini(degrees64),
     )

@@ -77,6 +77,22 @@ class Session:
         return f"Session(spec_hash={self.spec.spec_hash()[:12]})"
 
     # ------------------------------------------------------------------
+    # Numerics tier
+    # ------------------------------------------------------------------
+    @property
+    def numerics(self) -> str:
+        """The spec's numerics tier (``"exact"`` or ``"fast"``)."""
+        return self.spec.numerics
+
+    def activate_numerics(self):
+        """Context manager scoping the process numerics mode to this
+        session's tier.  The experiment driver wraps each run in it; the
+        batched trainers wrap their own work for direct API callers."""
+        from repro.perf import kernels
+
+        return kernels.numerics(self.spec.numerics)
+
+    # ------------------------------------------------------------------
     # RNG streams
     # ------------------------------------------------------------------
     def rng(self, stream: str, seed: Optional[int] = None) -> np.random.Generator:
@@ -211,6 +227,7 @@ class Session:
             "spec_hash": self.spec.spec_hash(),
             "run_spec": self.spec.to_dict(),
             "config_fingerprint": self.config_fingerprint(),
+            "numerics": self.spec.numerics,
         }
 
     def stamp(

@@ -81,6 +81,11 @@ class RunSpec:
     accelerator:
         Optional accelerator id (``"gopim"``, ``"serial"``, ...) for
         entry points that drive a single system.
+    numerics:
+        Numerics tier — ``"exact"`` (byte-identity contract, the
+        default) or ``"fast"`` (relaxed identity: autotuned kernel
+        strategies within the :data:`repro.perf.kernels.ERROR_BUDGETS`
+        tolerances).
     """
 
     dataset: Optional[str] = None
@@ -90,6 +95,7 @@ class RunSpec:
     array_bytes: int = EXPERIMENT_ARRAY_BYTES
     hardware: Tuple[Tuple[str, Any], ...] = field(default=())
     accelerator: Optional[str] = None
+    numerics: str = "exact"
 
     def __post_init__(self) -> None:
         if self.seed < 0:
@@ -108,14 +114,29 @@ class RunSpec:
             self, "hardware", _normalise_overrides(self.hardware),
         )
         object.__setattr__(self, "scale", float(self.scale))
+        from repro.perf.kernels import NUMERICS_MODES
+
+        if self.numerics not in NUMERICS_MODES:
+            raise ConfigError(
+                f"numerics must be one of {NUMERICS_MODES}, "
+                f"got {self.numerics!r}"
+            )
 
     # ------------------------------------------------------------------
     def spec_hash(self) -> str:
-        """Stable content hash of this spec (hex digest)."""
-        return cache_key(
+        """Stable content hash of this spec (hex digest).
+
+        ``numerics`` participates only when it is not the default
+        ``"exact"`` — exact-mode hashes are unchanged from before the
+        field existed, so recorded provenance and cache keys stay valid.
+        """
+        parts = [
             "runspec", self.dataset, self.seed, self.micro_batch,
             self.scale, self.array_bytes, self.hardware, self.accelerator,
-        )
+        ]
+        if self.numerics != "exact":
+            parts.append(("numerics", self.numerics))
+        return cache_key(*parts)
 
     def resolve_config(self) -> HardwareConfig:
         """The hardware configuration this spec deterministically implies."""
@@ -138,6 +159,7 @@ class RunSpec:
             "array_bytes": self.array_bytes,
             "hardware": [list(pair) for pair in self.hardware],
             "accelerator": self.accelerator,
+            "numerics": self.numerics,
         }
 
     @classmethod
