@@ -248,7 +248,11 @@ class AcceleratorModel:
 
         Attributed to the ``accelerator_sim`` phase; the allocation
         search and timing-model phases nest inside it and keep their own
-        (exclusive) time.
+        (exclusive) time.  The allocator inputs are content-memoised
+        (``_timing_tables``) and the greedy search itself is memoised on
+        the problem's content fingerprint, so rebuilding the same
+        accelerator — sweep repeats, sibling ablation variants sharing a
+        config — skips both.
         """
         timing = self.build_timing_model(workload, config)
         effective = timing.workload

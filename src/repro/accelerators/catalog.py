@@ -14,6 +14,13 @@ GoPIM          intra+inter    ML greedy (Alg. 1)   ISU
 +PP / +ISU     intra+inter    none                 full / ISU   Fig. 14
 Naive          intra+inter    none                 full/index   Fig. 15
 ============== ============== ==================== ============ =========
+
+The greedy-allocated design points (GoPIM-Vanilla, GoPIM and the
+ablation variants below) share Algorithm 1 searches through the
+content-keyed ``"allocation"`` cache: any two ``run()`` calls that
+arrive at the same stage times, costs, caps, and budget — sweep
+repeats, replicate seeds, variants differing only downstream of the
+allocator — pay for one search between them.
 """
 
 from __future__ import annotations

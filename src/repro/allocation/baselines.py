@@ -21,9 +21,15 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.allocation.greedy import greedy_allocation
+from repro.allocation.batched import allocate_many
+from repro.allocation.greedy import (
+    _ENGINE_REVISION,
+    ALLOCATION_NAMESPACE,
+    greedy_allocation,
+)
 from repro.allocation.problem import AllocationProblem, AllocationResult
 from repro.perf import profile
+from repro.perf.cache import cache_key, get_cache
 
 
 def serial_allocation(problem: AllocationProblem) -> AllocationResult:
@@ -139,15 +145,11 @@ def _candidate_times(problem: AllocationProblem, floors: np.ndarray) -> set:
     return candidates
 
 
-def _refine_and_keep_best(
-    problem: AllocationProblem,
-    base_replicas: np.ndarray,
-    cost: int,
-    best: AllocationResult,
-    best_makespan: float,
-):
-    """Spend the leftover budget with the greedy; keep a strict improvement."""
-    sub_problem = AllocationProblem(
+def _refinement_sub_problem(
+    problem: AllocationProblem, base_replicas: np.ndarray, cost: int,
+) -> AllocationProblem:
+    """The leftover-budget problem the greedy refines for one candidate."""
+    return AllocationProblem(
         stage_names=problem.stage_names,
         times_ns=problem.times_ns / base_replicas,
         crossbars_per_replica=problem.crossbars_per_replica,
@@ -158,7 +160,16 @@ def _refine_and_keep_best(
         num_microbatches=problem.num_microbatches,
         fixed_floors_ns=problem.fixed_floors_ns,
     )
-    refined = greedy_allocation(sub_problem, include_max_bonus=True)
+
+
+def _keep_best_composition(
+    problem: AllocationProblem,
+    base_replicas: np.ndarray,
+    refined: AllocationResult,
+    best: AllocationResult,
+    best_makespan: float,
+):
+    """Compose a refinement with its base; keep a strict improvement."""
     # Compose additively: each extra replica bought in the sub-problem
     # costs the same X, so the combined cost never exceeds the budget.
     combined = np.minimum(
@@ -172,9 +183,63 @@ def _refine_and_keep_best(
     return best, best_makespan
 
 
+def _refine_and_keep_best(
+    problem: AllocationProblem,
+    base_replicas: np.ndarray,
+    cost: int,
+    best: AllocationResult,
+    best_makespan: float,
+):
+    """Spend the leftover budget with the greedy; keep a strict improvement."""
+    sub_problem = _refinement_sub_problem(problem, base_replicas, cost)
+    refined = greedy_allocation(sub_problem, include_max_bonus=True)
+    return _keep_best_composition(
+        problem, base_replicas, refined, best, best_makespan,
+    )
+
+
 @profile.phase(profile.PHASE_ALLOCATION)
-def exhaustive_allocation(problem: AllocationProblem) -> AllocationResult:
+def exhaustive_allocation(
+    problem: AllocationProblem, *, memoize: bool = True,
+) -> AllocationResult:
     """T_max-sweep optimiser (dynamic-programming stand-in), vectorized.
+
+    Results are memoised through the content-keyed ``"allocation"`` cache
+    (same namespace as :func:`greedy_allocation`), so repeated builds of
+    the same problem skip the sweep; pass ``memoize=False`` for an honest
+    cold search.
+    """
+    if not memoize:
+        # Fully cold: the per-candidate refinements bypass the cache too,
+        # so ablation timings measure a real search.
+        return _exhaustive_search(problem, memoize_refinements=False)
+    key = cache_key(
+        "exhaustive", _ENGINE_REVISION, problem.content_fingerprint(),
+    )
+
+    def compute() -> dict:
+        result = _exhaustive_search(problem)
+        return {
+            "replicas": result.replicas,
+            "strategy": result.strategy,
+            "provenance": {
+                "engine": _ENGINE_REVISION,
+                "problem_fingerprint": problem.content_fingerprint(),
+            },
+        }
+
+    cached = get_cache().get_or_compute(ALLOCATION_NAMESPACE, key, compute)
+    return AllocationResult(
+        problem=problem,
+        replicas=np.array(cached["replicas"], dtype=np.int64),
+        strategy=cached["strategy"],
+    )
+
+
+def _exhaustive_search(
+    problem: AllocationProblem, memoize_refinements: bool = True,
+) -> AllocationResult:
+    """The actual sweep behind :func:`exhaustive_allocation`.
 
     Equivalent to :func:`exhaustive_allocation_reference` — verified
     bit-identical by ``tests/allocation/test_exhaustive_vectorized.py`` —
@@ -191,7 +256,9 @@ def exhaustive_allocation(problem: AllocationProblem) -> AllocationResult:
        replica vector, and many candidate times round to the same vector
        — deduplicating rows (keeping first-seen, i.e. largest-``t_max``,
        order) skips redundant greedy runs without changing which strict
-       improvement wins.
+       improvement wins; the surviving refinements then run as one
+       batched :func:`~repro.allocation.batched.allocate_many` walk
+       instead of a Python loop of greedy calls.
     """
     floors = (
         problem.fixed_floors_ns
@@ -251,10 +318,20 @@ def exhaustive_allocation(problem: AllocationProblem) -> AllocationResult:
 
         # Dedupe identical base vectors, preserving first-seen order.
         _, first_seen = np.unique(replica_rows, axis=0, return_index=True)
-        for index in np.sort(first_seen):
-            best, best_makespan = _refine_and_keep_best(
+        order = np.sort(first_seen)
+        sub_problems = [
+            _refinement_sub_problem(
                 problem, replica_rows[index], int(row_costs[index]),
-                best, best_makespan,
+            )
+            for index in order
+        ]
+        refinements = allocate_many(
+            sub_problems, include_max_bonus=True,
+            memoize=memoize_refinements,
+        )
+        for index, refined in zip(order, refinements):
+            best, best_makespan = _keep_best_composition(
+                problem, replica_rows[index], refined, best, best_makespan,
             )
     if best.strategy != "exhaustive":
         best = AllocationResult(

@@ -17,15 +17,34 @@ budget is exhausted or no stage can improve (cap reached / unaffordable).
 Decision time is O(total replicas x log S), versus the multi-day dynamic
 programming of prior work (the paper's [27]); the DP stand-in lives in
 :mod:`repro.allocation.baselines` for the overhead comparison.
+
+The public :func:`greedy_allocation` runs the run-skipping engine of
+:mod:`repro.allocation.engine` — decision-identical to the one-purchase-
+per-iteration loop retained here as :func:`greedy_allocation_reference`,
+but an order of magnitude faster at synthesis-scale budgets — and
+memoises results through the content-keyed artifact cache
+(:mod:`repro.perf.cache`, ``"allocation"`` namespace) so repeated
+accelerator builds and warm sweeps skip the search entirely.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
-from repro.allocation.heap import FlatMaxKeys, IndexedMaxHeap
+from repro.allocation.engine import greedy_allocation_counts
+from repro.allocation.heap import FlatMaxKeys
 from repro.allocation.problem import AllocationProblem, AllocationResult
 from repro.perf import profile
+from repro.perf.cache import cache_key, get_cache
+
+#: Cache namespace shared by every memoised allocator result.
+ALLOCATION_NAMESPACE = "allocation"
+
+#: Engine revision stamped into cache keys and provenance: bump when the
+#: decision sequence could change, so stale entries can never resurface.
+_ENGINE_REVISION = "run-skipping-v1"
 
 
 def _marginal_time_gain(problem: AllocationProblem, stage: int, replicas: int) -> float:
@@ -41,13 +60,72 @@ def _marginal_time_gain(problem: AllocationProblem, stage: int, replicas: int) -
 def greedy_allocation(
     problem: AllocationProblem,
     include_max_bonus: bool = True,
-    heap_cls: type = FlatMaxKeys,
+    heap_cls: Optional[type] = None,
+    *,
+    memoize: bool = True,
 ) -> AllocationResult:
     """Run Algorithm 1 and return the replica assignment.
 
     ``include_max_bonus=False`` drops the ``(B-1) * T_max`` term from the
     adjust values (used by the exhaustive baseline's refinement step and
     by ablation benchmarks).
+
+    The default path runs the run-skipping engine and routes the result
+    through the two-tier artifact cache, keyed on the problem's
+    :meth:`~AllocationProblem.content_fingerprint` — two identical
+    problems (same stages, times, costs, budget, caps, ``B``, floors)
+    share one search regardless of where they were built.  Pass
+    ``memoize=False`` for an honest cold search (ablation timing), or an
+    explicit ``heap_cls`` to run the retained reference loop with that
+    priority store (:class:`FlatMaxKeys` / ``IndexedMaxHeap``).
+    """
+    if heap_cls is not None:
+        return greedy_allocation_reference(problem, include_max_bonus, heap_cls)
+    if not memoize:
+        return AllocationResult(
+            problem=problem,
+            replicas=greedy_allocation_counts(problem, include_max_bonus),
+            strategy="gopim-greedy",
+        )
+    key = cache_key(
+        "greedy", _ENGINE_REVISION,
+        problem.content_fingerprint(), bool(include_max_bonus),
+    )
+
+    def compute() -> dict:
+        return {
+            "replicas": greedy_allocation_counts(problem, include_max_bonus),
+            "strategy": "gopim-greedy",
+            "provenance": {
+                "engine": _ENGINE_REVISION,
+                "include_max_bonus": bool(include_max_bonus),
+                "problem_fingerprint": problem.content_fingerprint(),
+            },
+        }
+
+    cached = get_cache().get_or_compute(ALLOCATION_NAMESPACE, key, compute)
+    # Copy on the way out: the memory tier hands back the stored object,
+    # and results must not alias each other.
+    return AllocationResult(
+        problem=problem,
+        replicas=np.array(cached["replicas"], dtype=np.int64),
+        strategy=cached["strategy"],
+    )
+
+
+@profile.phase(profile.PHASE_ALLOCATION)
+def greedy_allocation_reference(
+    problem: AllocationProblem,
+    include_max_bonus: bool = True,
+    heap_cls: type = FlatMaxKeys,
+) -> AllocationResult:
+    """One-purchase-per-iteration Algorithm 1 — the equivalence oracle.
+
+    Every optimisation of the hot path (the run-skipping engine, the
+    batched ``allocate_many``) is pinned against this loop: same decision
+    sequence, bit-identical replica vectors, asserted by
+    ``tests/allocation/test_engine_equivalence.py`` and re-measured by
+    ``benchmarks/perf/bench_hotpaths.py``.
 
     ``heap_cls`` selects the priority store: :class:`FlatMaxKeys`
     (default) and :class:`IndexedMaxHeap` implement the same total order
@@ -138,9 +216,3 @@ def greedy_allocation(
         replicas=np.array(replicas, dtype=np.int64),
         strategy="gopim-greedy",
     )
-
-
-def _all_disabled(heap_v: IndexedMaxHeap) -> bool:
-    """True when every adjust value is zero (no further improvement)."""
-    key, _ = heap_v.top()
-    return key <= 0.0

@@ -86,6 +86,26 @@ SEED_WALL_TIMES: Dict[str, float] = {
     "full:abl-weight-staleness": 0.5,
     "quick:abl-variation": 0.2,
     "full:abl-variation": 1.0,
+    # Allocation-heavy experiments, re-seeded after the run-skipping
+    # Algorithm 1 engine and the content-keyed allocation cache: within
+    # one run, repeated accelerator builds now share their greedy
+    # searches, and the searches themselves vectorize.  Cold-cache
+    # quick runs measured on a 1-core worker; full values are rough
+    # 4-5x extrapolations (overestimating a long job is the safe LPT
+    # direction).  abl-allocator also gained a reference-loop row, so
+    # its seed is a fresh measurement, not a scaled-down old one.
+    "quick:fig13": 7.5,
+    "full:fig13": 35.0,
+    "quick:abl-scheduler": 6.0,
+    "full:abl-scheduler": 28.0,
+    "quick:abl-allocator": 2.0,
+    "full:abl-allocator": 9.0,
+    "fast-quick:fig13": 6.5,
+    "fast-full:fig13": 30.0,
+    "fast-quick:abl-scheduler": 5.5,
+    "fast-full:abl-scheduler": 25.0,
+    "fast-quick:abl-allocator": 2.0,
+    "fast-full:abl-allocator": 9.0,
     # Fast-numerics tier (numerics="fast"): the autotuned kernel
     # strategies cut the warm training/accelerator buckets >= 1.5x, but
     # a *cold* first-contact run is dominated by dataset generation and

@@ -194,6 +194,48 @@ class ArtifactCache:
             self._evict_over_cap()
         return value
 
+    def get(self, namespace: str, key: str, default: Any = None) -> Any:
+        """Cached artifact for ``(namespace, key)``, or ``default``.
+
+        Probe-only counterpart of :meth:`get_or_compute` for callers that
+        batch their misses (e.g. ``allocation.allocate_many``): hits are
+        promoted and counted exactly as there, misses are tallied and
+        left for the caller to compute and :meth:`put` back.
+        """
+        mem_key = (namespace, key)
+        with self._lock:
+            if mem_key in self._memory:
+                self.stats.memory_hits += 1
+                return self._memory[mem_key]
+        path = self._disk_path(namespace, key)
+        if path is not None and path.exists():
+            try:
+                with open(path, "rb") as handle:
+                    value = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError):
+                pass  # corrupt/partial file: report a miss
+            else:
+                try:
+                    os.utime(path)
+                except OSError:
+                    pass
+                with self._lock:
+                    self.stats.disk_hits += 1
+                    self._memory[mem_key] = value
+                return value
+        with self._lock:
+            self.stats.misses += 1
+        return default
+
+    def put(self, namespace: str, key: str, value: Any) -> None:
+        """Store an artifact computed out of band (both tiers)."""
+        with self._lock:
+            self._memory[(namespace, key)] = value
+        path = self._disk_path(namespace, key)
+        if path is not None:
+            self._write_disk(path, value)
+            self._evict_over_cap()
+
     @staticmethod
     def _write_disk(path: Path, value: Any) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -133,6 +133,7 @@ def build_serving_system(
     num_servers: int = 4,
     max_batch: int = 64,
     params: TimingParams = TimingParams(),
+    memoize_allocation: bool = True,
 ) -> ServingCostModel:
     """Provision serving replicas on the session's chip for a dataset.
 
@@ -140,6 +141,12 @@ def build_serving_system(
     replicas — capped at how many mandatory forward-chain copies fit —
     and runs the greedy allocator inside each replica's share, costed at
     the full batch size the batching policy targets.
+
+    The allocator problem is a pure function of (config, dataset shape,
+    servers, batch), so by default its search is memoised through the
+    content-keyed ``"allocation"`` cache and repeated builds — tail-
+    latency sweeps re-provision per policy point — skip straight to the
+    replica vector.  ``memoize_allocation=False`` forces a cold search.
     """
     if num_servers < 1:
         raise ConfigError(f"num_servers must be >= 1, got {num_servers}")
@@ -214,7 +221,7 @@ def build_serving_system(
         replica_caps=caps,
         num_microbatches=ALLOC_PIPELINE_DEPTH,
     )
-    allocation = greedy_allocation(problem)
+    allocation = greedy_allocation(problem, memoize=memoize_allocation)
     return ServingCostModel(
         dataset=dataset,
         stage_names=base.stage_names,

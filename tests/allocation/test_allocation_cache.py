@@ -1,0 +1,186 @@
+"""Content-keyed memoisation of allocator results.
+
+The ``"allocation"`` cache namespace must serve warm results that are
+byte-identical to cold searches, share entries between
+:func:`greedy_allocation` and :func:`allocate_many`, survive a disk
+round-trip, never touch the global RNG, and key strictly on the
+problem's content fingerprint.
+"""
+
+import numpy as np
+import pytest
+
+from repro.allocation.baselines import exhaustive_allocation
+from repro.allocation.batched import allocate_many
+from repro.allocation.greedy import ALLOCATION_NAMESPACE, greedy_allocation
+from repro.allocation.problem import AllocationProblem
+from repro.perf import ENV_DISK_CACHE, clear_cache, get_cache
+
+
+def make_problem(budget=700, scale=1.0, num_microbatches=12, seed=0):
+    rng = np.random.default_rng(seed)
+    times = rng.uniform(50.0, 9000.0, 11) * scale
+    return AllocationProblem(
+        stage_names=[f"S{i}" for i in range(11)],
+        times_ns=times,
+        crossbars_per_replica=rng.integers(1, 5, 11),
+        budget=budget,
+        replica_caps=rng.integers(2, 64, 11),
+        num_microbatches=num_microbatches,
+        fixed_floors_ns=rng.uniform(0.0, 20.0, 11),
+    )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestFingerprint:
+    def test_stable_and_equal_for_equal_content(self):
+        a, b = make_problem(), make_problem()
+        assert a is not b
+        assert a.content_fingerprint() == b.content_fingerprint()
+        assert a.content_fingerprint() == a.content_fingerprint()
+
+    def test_every_field_is_content(self):
+        base = make_problem()
+        fingerprints = {base.content_fingerprint()}
+        variants = [
+            make_problem(budget=701),
+            make_problem(scale=2.0),
+            make_problem(num_microbatches=13),
+            make_problem(seed=1),
+        ]
+        renamed = AllocationProblem(
+            stage_names=[f"T{i}" for i in range(11)],
+            times_ns=base.times_ns,
+            crossbars_per_replica=base.crossbars_per_replica,
+            budget=base.budget,
+            replica_caps=base.replica_caps,
+            num_microbatches=base.num_microbatches,
+            fixed_floors_ns=base.fixed_floors_ns,
+        )
+        no_floors = AllocationProblem(
+            stage_names=base.stage_names,
+            times_ns=base.times_ns,
+            crossbars_per_replica=base.crossbars_per_replica,
+            budget=base.budget,
+            replica_caps=base.replica_caps,
+            num_microbatches=base.num_microbatches,
+        )
+        for variant in variants + [renamed, no_floors]:
+            fingerprints.add(variant.content_fingerprint())
+        assert len(fingerprints) == 7  # all distinct
+
+
+class TestMemoisedGreedy:
+    def test_warm_result_byte_identical_and_not_recomputed(self):
+        problem = make_problem()
+        cold = greedy_allocation(problem)
+        stats = get_cache().stats
+        misses_after_cold = stats.misses
+        warm = greedy_allocation(problem)
+        rebuilt = greedy_allocation(make_problem())  # equal content
+        assert stats.misses == misses_after_cold
+        assert stats.memory_hits >= 2
+        assert warm.replicas.tobytes() == cold.replicas.tobytes()
+        assert rebuilt.replicas.tobytes() == cold.replicas.tobytes()
+
+    def test_results_do_not_alias_the_cache(self):
+        problem = make_problem()
+        first = greedy_allocation(problem)
+        first.replicas[0] = 10 ** 6
+        second = greedy_allocation(problem)
+        assert second.replicas[0] != 10 ** 6
+
+    def test_bonus_flag_is_part_of_the_key(self):
+        problem = make_problem()
+        with_bonus = greedy_allocation(problem, include_max_bonus=True)
+        without = greedy_allocation(problem, include_max_bonus=False)
+        # Two searches, not one shared entry: the flag is in the key.
+        assert get_cache().stats.misses == 2
+        assert greedy_allocation(
+            problem, include_max_bonus=True,
+        ).replicas.tobytes() == with_bonus.replicas.tobytes()
+        assert greedy_allocation(
+            problem, include_max_bonus=False,
+        ).replicas.tobytes() == without.replicas.tobytes()
+        assert get_cache().stats.misses == 2
+
+    def test_memoize_false_bypasses_the_cache(self):
+        problem = make_problem()
+        greedy_allocation(problem, memoize=False)
+        assert len(get_cache()) == 0
+        assert not get_cache().contains(ALLOCATION_NAMESPACE, "anything")
+
+    def test_no_global_rng_touch(self):
+        problem = make_problem()
+        np.random.seed(1234)
+        state_before = np.random.get_state()
+        greedy_allocation(problem)  # miss
+        greedy_allocation(problem)  # hit
+        state_after = np.random.get_state()
+        assert state_before[0] == state_after[0]
+        np.testing.assert_array_equal(state_before[1], state_after[1])
+        assert state_before[2:] == state_after[2:]
+
+    def test_disk_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_DISK_CACHE, str(tmp_path))
+        problem = make_problem()
+        cold = greedy_allocation(problem)
+        assert list(tmp_path.rglob("*.pkl"))
+        # Fresh memory tier (fresh-process stand-in): must hit disk.
+        clear_cache()
+        warm = greedy_allocation(problem)
+        assert get_cache().stats.disk_hits == 1
+        assert warm.replicas.tobytes() == cold.replicas.tobytes()
+
+
+class TestSharedNamespace:
+    def test_allocate_many_serves_greedy_entries(self):
+        problems = [make_problem(seed=s) for s in range(4)]
+        singles = [greedy_allocation(p) for p in problems]
+        stats = get_cache().stats
+        misses_before = stats.misses
+        batched = allocate_many(problems)
+        assert stats.misses == misses_before  # all hits
+        for single, batch in zip(singles, batched):
+            assert single.replicas.tobytes() == batch.replicas.tobytes()
+
+    def test_greedy_serves_allocate_many_entries(self):
+        problems = [make_problem(seed=s) for s in range(4)]
+        batched = allocate_many(problems)
+        stats = get_cache().stats
+        misses_before = stats.misses
+        singles = [greedy_allocation(p) for p in problems]
+        assert stats.misses == misses_before
+        for single, batch in zip(singles, batched):
+            assert single.replicas.tobytes() == batch.replicas.tobytes()
+
+    def test_partial_batch_only_computes_misses(self):
+        problems = [make_problem(seed=s) for s in range(5)]
+        greedy_allocation(problems[1])
+        greedy_allocation(problems[3])
+        stats = get_cache().stats
+        misses_before = stats.misses
+        allocate_many(problems)
+        assert stats.misses == misses_before + 3
+
+
+class TestMemoisedExhaustive:
+    def test_warm_byte_identical(self):
+        problem = make_problem(budget=90)
+        cold = exhaustive_allocation(problem)
+        warm = exhaustive_allocation(problem)
+        assert warm.replicas.tobytes() == cold.replicas.tobytes()
+        assert warm.strategy == "exhaustive"
+
+    def test_cold_flag_reaches_the_refinements(self):
+        problem = make_problem(budget=90)
+        exhaustive_allocation(problem, memoize=False)
+        # Nothing may be left behind: neither the sweep result nor the
+        # per-candidate greedy refinements.
+        assert len(get_cache()) == 0

@@ -110,3 +110,51 @@ def test_greedy_feasibility_property(times, budget, seed):
     assert np.all(result.replicas >= 1)
     assert np.all(result.replicas <= caps)
     assert result.makespan_ns <= problem.makespan_ns(np.ones(n, dtype=np.int64)) + 1e-9
+
+
+@given(seed=st.integers(0, 40))
+@settings(max_examples=40, deadline=None)
+def test_makespan_monotone_in_budget(seed):
+    # A bigger budget can only help: the greedy's makespan must be
+    # non-increasing as the budget grows (every smaller-budget
+    # allocation stays feasible, and the greedy never does worse than
+    # spending nothing).
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 12))
+    times = rng.uniform(1.0, 5000.0, n)
+    costs = rng.integers(1, 6, size=n)
+    caps = rng.integers(1, 40, size=n)
+    mbs = int(rng.integers(1, 33))
+    previous = np.inf
+    for budget in (0, 1, 3, 10, 30, 100, 300, 1000):
+        problem = make_problem(times, costs, budget, caps, mbs=mbs)
+        result = greedy_allocation(problem, memoize=False)
+        assert result.makespan_ns <= previous * (1 + 1e-12)
+        previous = result.makespan_ns
+
+
+def test_engine_feasible_at_synthesis_scale():
+    # The run-skipping engine at a budget far beyond the quick-sweep
+    # regime: the assignment must stay within budget and caps, and
+    # saturate whichever binds first.
+    rng = np.random.default_rng(3)
+    n = 96
+    problem = make_problem(
+        np.exp(rng.normal(8.0, 2.5, n)),
+        rng.integers(1, 5, size=n),
+        budget=50_000,
+        caps=rng.integers(1, 4000, size=n),
+        mbs=16,
+    )
+    result = greedy_allocation(problem, memoize=False)
+    spent = problem.crossbar_cost(result.replicas)
+    assert spent <= problem.budget
+    assert np.all(result.replicas >= 1)
+    assert np.all(result.replicas <= problem.replica_caps)
+    at_cap = np.all(result.replicas == problem.replica_caps)
+    cheapest_left = int(
+        problem.crossbars_per_replica[
+            result.replicas < problem.replica_caps
+        ].min()
+    ) if not at_cap else 0
+    assert at_cap or problem.budget - spent < cheapest_left

@@ -13,7 +13,7 @@ allocations on random problems).
 import numpy as np
 import pytest
 
-from repro.allocation.greedy import greedy_allocation
+from repro.allocation.greedy import greedy_allocation_reference
 from repro.allocation.heap import FlatMaxKeys, IndexedMaxHeap
 from repro.allocation.problem import AllocationProblem
 from repro.errors import AllocationError
@@ -44,11 +44,11 @@ def test_greedy_identical_across_stores(include_max_bonus):
     rng = np.random.default_rng(7)
     for _ in range(40):
         problem = _random_problem(rng)
-        flat = greedy_allocation(
+        flat = greedy_allocation_reference(
             problem, include_max_bonus=include_max_bonus,
             heap_cls=FlatMaxKeys,
         )
-        heap = greedy_allocation(
+        heap = greedy_allocation_reference(
             problem, include_max_bonus=include_max_bonus,
             heap_cls=IndexedMaxHeap,
         )
