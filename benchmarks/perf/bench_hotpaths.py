@@ -38,6 +38,11 @@ Times the optimisation targets of the perf PRs against the retained
   event loop on a 4-stage x many-batch serving timeline.  Integer
   nanoseconds make the two *byte*-identical — asserted like the other
   fast paths.  Target: >= 10x.
+* **backends** — the trace backend's compile-once economics: cold
+  stage-chain lowering vs the memoised ArtifactCache lookup (>= 5x,
+  hard in ``--quick``), scoreboard replay throughput in instruction
+  records per second, and the warm whole-epoch ``stage_time_matrix``
+  wall ratio of trace vs analytic.
 * **sweep** — the end-to-end quick experiment sweep through ``run_all``,
   serial vs ``jobs=N`` (forked workers, longest-job-first scheduling),
   with content-keyed caches warm in both runs so the delta is
@@ -767,6 +772,95 @@ def bench_fast_numerics(quick: bool) -> Dict[str, object]:
     }
 
 
+def bench_backends(quick: bool) -> Dict[str, object]:
+    """Trace-backend economics: compile cold vs memoised warm, replay rate.
+
+    The trace backend's contract is *compile once, replay everywhere*:
+    lowering a stage to its instruction stream pays the busiest-crossbar
+    write-histogram pass, while a warm replay is a handful of vector ops
+    over the memoised records.  Times three things on a 4096-vertex
+    workload:
+
+    * cold compile (uncached ``compile_stage_program``, whole stage
+      chain) vs the memoised warm lookup (``compiled_stage_program``
+      hitting the in-memory ArtifactCache) — the section ``speedup``,
+      hard-guarded >= 5x in ``--quick``;
+    * replay throughput in instruction records per second across a
+      replica sweep;
+    * the whole-epoch ``stage_time_matrix`` wall ratio, analytic vs
+      trace (both warm) — what ``--backend trace`` costs end to end.
+    """
+    from repro.backends import EpochProgram, get_backend
+    from repro.backends.trace import (
+        compile_stage_program,
+        compiled_stage_program,
+        replay_stage_times,
+    )
+    from repro.stages.latency import StageTimingModel
+    from repro.stages.workload import Workload
+
+    vertices = 2048 if quick else 4096
+    graph = dc_sbm_graph(
+        num_vertices=vertices, num_communities=8, avg_degree=16.0,
+        random_state=11, feature_dim=128, name="bench-backends",
+    )
+    workload = Workload(
+        graph=graph, layer_dims=[(128, 128), (128, 64)],
+        micro_batch=64, name="bench-backends",
+    )
+    timing = StageTimingModel(workload)
+    stages = range(len(timing.stages))
+    repeats = 3 if quick else 5
+
+    cold_s = best_of(
+        lambda: [compile_stage_program(timing, i) for i in stages],
+        repeats,
+    )
+    warm_s = best_of(
+        lambda: [compiled_stage_program(timing, i) for i in stages],
+        repeats,
+    )
+
+    programs = [compiled_stage_program(timing, i) for i in stages]
+    records = sum(p.size for p in programs)
+    replica_grid = (1, 2, 4, 8)
+
+    def replay_all() -> None:
+        for replicas in replica_grid:
+            for i in stages:
+                replay_stage_times(programs[i], timing, i, replicas)
+
+    replay_s = best_of(replay_all, repeats)
+    replayed = records * len(replica_grid)
+
+    program = EpochProgram(timing=timing)
+    analytic_s = best_of(
+        lambda: get_backend("analytic").stage_time_matrix(program), repeats,
+    )
+    trace_s = best_of(
+        lambda: get_backend("trace").stage_time_matrix(program), repeats,
+    )
+
+    return {
+        "vertices": vertices,
+        "stages": len(timing.stages),
+        "instruction_records": int(records),
+        "reference_s": cold_s,       # cold compile, whole stage chain
+        "vectorized_s": warm_s,      # memoised warm lookup
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "replay_s": replay_s,
+        "replay_records_per_s": (
+            replayed / replay_s if replay_s > 0 else float("inf")
+        ),
+        "epoch_matrix_analytic_s": analytic_s,
+        "epoch_matrix_trace_s": trace_s,
+        "trace_vs_analytic_wall": (
+            trace_s / analytic_s if analytic_s > 0 else float("inf")
+        ),
+        "bit_identical": None,  # priced models differ by design
+    }
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -797,6 +891,7 @@ def main(argv=None) -> int:
         "training": bench_training(args.quick),
         "sweep": bench_sweep(args.quick, args.jobs, args.phases or None),
         "fast_numerics": bench_fast_numerics(args.quick),
+        "backends": bench_backends(args.quick),
     }
     failures = []
     for name, target, quick_target in (
@@ -822,6 +917,10 @@ def main(argv=None) -> int:
         # quick mode, since the bucket ratio is machine-stable even
         # where absolute sweep times are not.
         ("fast_numerics", 1.5, 1.5),
+        # Compile-once must pay for itself: the memoised warm lookup
+        # must beat a cold stage-chain compile >= 5x even in quick mode
+        # (it skips the write-histogram pass entirely).
+        ("backends", 5.0, 5.0),
     ):
         section = report[name]
         print(f"{name:<10} {section['speedup']:8.1f}x "
@@ -850,6 +949,12 @@ def main(argv=None) -> int:
                 f"{tier['speedup']:.1f}x is below the "
                 f"{quick_floor:.1f}x regression guard"
             )
+    backends = report["backends"]
+    print(f"  backends/replay   {backends['replay_records_per_s']:,.0f} "
+          f"records/s")
+    print(f"  backends/wall     trace = "
+          f"{backends['trace_vs_analytic_wall']:.2f}x analytic "
+          f"(epoch matrix, warm)")
     if report["fast_numerics"]["provenance_tiers_stamped"] is not True:
         failures.append(
             "fast_numerics: results missing or mismatching the numerics "

@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.allocation.problem import AllocationProblem, AllocationResult
+from repro.backends import EpochProgram, resolve_backend
 from repro.errors import ConfigError
 from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
 from repro.hardware.crossbar import CrossbarStats
@@ -34,11 +35,7 @@ from repro.hardware.energy import EnergyBreakdown, EnergyModel
 from repro.hardware.noc import MeshNoc
 from repro.mapping.selective import UpdatePlan, build_update_plan
 from repro.perf import cache_key, get_cache, profile
-from repro.pipeline.simulator import (
-    PipelineResult,
-    ScheduleMode,
-    simulate_pipeline,
-)
+from repro.pipeline.simulator import PipelineResult, ScheduleMode
 from repro.stages.latency import StageTimingModel, TimingParams
 from repro.stages.workload import Workload
 
@@ -58,6 +55,7 @@ class AcceleratorReport:
     stage_names: List[str]
     replicas: np.ndarray
     crossbars_reserved: int
+    backend: str = "analytic"
 
     @property
     def energy_pj(self) -> float:
@@ -243,6 +241,7 @@ class AcceleratorModel:
         self,
         workload: Workload,
         config: HardwareConfig = DEFAULT_CONFIG,
+        backend=None,
     ) -> AcceleratorReport:
         """Simulate one training epoch and account time + energy.
 
@@ -253,7 +252,15 @@ class AcceleratorModel:
         the problem's content fingerprint, so rebuilding the same
         accelerator — sweep repeats, sibling ablation variants sharing a
         config — skips both.
+
+        The epoch is priced by a :class:`~repro.backends.SimulationBackend`
+        (``backend`` names one explicitly; the default is the ambient
+        process backend, usually ``"analytic"``).  The allocation plan
+        and the activity-count energy model are backend-independent:
+        every engine prices the *same* replica assignment, so backends
+        differ only in how operations turn into nanoseconds.
         """
+        engine = resolve_backend(backend)
         timing = self.build_timing_model(workload, config)
         effective = timing.workload
         stages = timing.stages
@@ -261,13 +268,15 @@ class AcceleratorModel:
         allocation = self.allocator(problem)
         replicas = allocation.replicas
 
-        times = timing.stage_time_matrix(replicas)
-
-        pipeline = simulate_pipeline(
-            times, mode=self.schedule,
+        epoch = engine.simulate_epoch(EpochProgram(
+            timing=timing,
+            replicas=np.asarray(replicas, dtype=np.int64),
+            schedule=self.schedule,
             microbatches_per_batch=self.microbatches_per_batch,
-        )
+        ))
+        pipeline = epoch.pipeline
         energy = self._energy(timing, pipeline, replicas, config)
+        epoch.energy = energy
         return AcceleratorReport(
             accelerator=self.name,
             workload=workload.name,
@@ -280,6 +289,7 @@ class AcceleratorModel:
             crossbars_reserved=int(
                 (replicas * problem.crossbars_per_replica).sum()
             ),
+            backend=epoch.backend,
         )
 
     def _energy(

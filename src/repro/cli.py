@@ -13,8 +13,9 @@ Commands
 ``experiments [IDS...]``
     Run registered experiments and print their markdown tables.
 ``list``
-    Print the collected experiment registry (id, title, datasets, cost
-    hint) without running anything.
+    Print the collected experiment registry (id, cost hint, supported
+    backends and numerics tiers, datasets, title) without running
+    anything.
 ``run ID``
     Run one experiment under a fresh session and print its table, or
     with ``--json`` the rows plus the full provenance block (run spec,
@@ -121,7 +122,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
     results = run_all(quick=args.quick, only=args.ids or None,
                       jobs=args.jobs,
-                      numerics="fast" if args.fast else None)
+                      numerics="fast" if args.fast else None,
+                      backend=args.backend)
     print(combine_markdown(results))
     return 0
 
@@ -132,14 +134,18 @@ def _cmd_list(_: argparse.Namespace) -> int:
     collected = specs()
     width = max(len(spec_id) for spec_id in collected)
     header = (
-        f"{'id':<{width}}  {'cost':>5}  {'datasets':<22}  title"
+        f"{'id':<{width}}  {'cost':>5}  {'backends':<15}  {'numerics':<11}  "
+        f"{'datasets':<22}  title"
     )
     print(header)
     print("-" * len(header))
     for spec_id, spec in collected.items():
         datasets = ",".join(spec.datasets) if spec.datasets else "-"
+        backends = ",".join(spec.backends)
+        tiers = ",".join(spec.numerics_tiers)
         print(
             f"{spec_id:<{width}}  {spec.cost_hint:>5.1f}  "
+            f"{backends:<15}  {tiers:<11}  "
             f"{datasets:<22}  {spec.title}"
         )
     return 0
@@ -154,6 +160,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     session = Session(RunSpec(
         seed=args.seed,
         numerics="fast" if args.fast else "exact",
+        backend=args.backend or "analytic",
     ))
     result = run_all(
         quick=args.quick, only=[args.experiment_id], session=session,
@@ -261,6 +268,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--fast", action="store_true",
                              help="relaxed-identity fast-numerics tier "
                                   "(autotuned kernels; provenance-stamped)")
+    experiments.add_argument("--backend", choices=("analytic", "trace"),
+                             default=None,
+                             help="simulation backend for every epoch "
+                                  "(default: the session's, i.e. analytic)")
 
     sub.add_parser("list", help="print the experiment registry")
 
@@ -275,6 +286,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fast", action="store_true",
                      help="relaxed-identity fast-numerics tier "
                           "(autotuned kernels; provenance-stamped)")
+    run.add_argument("--backend", choices=("analytic", "trace"),
+                     default=None,
+                     help="simulation backend (trace replays compiled "
+                          "instruction streams; provenance-stamped)")
     run.add_argument("--json", action="store_true",
                      help="emit rows plus the provenance block as JSON")
 

@@ -22,12 +22,12 @@ from typing import TYPE_CHECKING, List, Optional
 import numpy as np
 
 from repro.accelerators.base import AcceleratorModel
+from repro.backends import EpochProgram, resolve_backend
 from repro.errors import TrainingError
 from repro.gcn.trainer import make_trainer
 from repro.graphs.datasets import get_spec
 from repro.graphs.graph import Graph
 from repro.hardware.config import DEFAULT_CONFIG, HardwareConfig
-from repro.pipeline.simulator import simulate_pipeline
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime import Session
@@ -111,18 +111,23 @@ class CoSimulation:
         plan = timing.update_plan
 
         # Two epoch flavours: minor-refresh (full write rounds) and
-        # important-only.  Precompute both makespans from the whole-epoch
-        # timing tables (one vector call per stage instead of a Python
-        # loop over every micro-batch; ``_epoch_times_reference`` keeps
-        # the scalar loop for equivalence tests).
+        # important-only.  Precompute both makespans through the active
+        # simulation backend — each phase is one EpochProgram with the
+        # write phase pinned (``_epoch_times_reference`` keeps the
+        # scalar loop the analytic backend is checked against).
+        engine = resolve_backend(None)
         makespans = {}
         for full_round in (True, False):
-            times = self._epoch_times(timing, replicas, full_round)
-            schedule = simulate_pipeline(
-                times, mode=self._accelerator.schedule,
-                microbatches_per_batch=self._accelerator.microbatches_per_batch,
-            )
-            makespans[full_round] = schedule.total_time_ns
+            epoch = engine.simulate_epoch(EpochProgram(
+                timing=timing,
+                replicas=np.asarray(replicas, dtype=np.int64),
+                schedule=self._accelerator.schedule,
+                microbatches_per_batch=(
+                    self._accelerator.microbatches_per_batch
+                ),
+                full_round=full_round,
+            ))
+            makespans[full_round] = epoch.total_time_ns
 
         trainer = make_trainer(graph, spec.task, random_state=random_state)
         result = CoSimResult()

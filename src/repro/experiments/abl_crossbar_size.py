@@ -34,6 +34,7 @@ SIZE_GRID = (32, 64, 128)
     title="Crossbar size design-space sweep",
     datasets=("ddi",),
     cost_hint=3.0,
+    backends=("analytic", "trace"),
     order=180,
 )
 def run(

@@ -126,6 +126,7 @@ def write_pulse_sweep(
     title="ISU design-choice ablations (minor period, scopes, pulses)",
     datasets=("ddi", "proteins"),
     cost_hint=3.0,
+    backends=("analytic", "trace"),
     order=150,
 )
 def run(

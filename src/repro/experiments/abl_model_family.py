@@ -63,6 +63,7 @@ def _train(model, graph, plan, epochs: int, seed: int) -> float:
     datasets=("arxiv",),
     cost_hint=10.0,
     quick={"epochs": 10},
+    backends=("analytic", "trace"),
     order=260,
 )
 def run(

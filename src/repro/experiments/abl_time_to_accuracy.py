@@ -25,6 +25,7 @@ from repro.runtime import Session, default_session, experiment
     datasets=("arxiv",),
     cost_hint=15.0,
     quick={"epochs": 8},
+    backends=("analytic", "trace"),
     order=160,
 )
 def run(

@@ -22,6 +22,7 @@ FIG04_DATASETS = ("ddi", "collab", "ppa", "proteins", "arxiv", "products")
     title="Idle time percentage of crossbars per stage",
     datasets=FIG04_DATASETS,
     cost_hint=2.0,
+    backends=("analytic", "trace"),
     order=10,
 )
 def run(

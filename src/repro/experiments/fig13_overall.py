@@ -55,6 +55,7 @@ def run_systems(
     title="Overall speedup and energy saving, normalised to Serial",
     datasets=FIG13_DATASETS,
     cost_hint=8.0,
+    backends=("analytic", "trace"),
     order=60,
 )
 def run(

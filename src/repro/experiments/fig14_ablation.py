@@ -22,6 +22,7 @@ FIG14_DATASETS = ("ddi", "collab", "ppa", "proteins", "arxiv")
     title="Ablation: +PP, +ISU, and ML-based allocation",
     datasets=FIG14_DATASETS,
     cost_hint=6.0,
+    backends=("analytic", "trace"),
     order=70,
 )
 def run(

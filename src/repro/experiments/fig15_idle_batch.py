@@ -21,6 +21,7 @@ from repro.runtime import Session, default_session, experiment
     title="Crossbar idle percentage vs micro-batch size",
     datasets=("ddi",),
     cost_hint=3.0,
+    backends=("analytic", "trace"),
     order=80,
 )
 def run(

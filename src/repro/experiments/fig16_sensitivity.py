@@ -110,6 +110,7 @@ def speedup_vs_batch(
     datasets=("ddi", "cora"),
     cost_hint=20.0,
     quick={"epochs": 12, "thetas": (0.4, 0.6, 0.8)},
+    backends=("analytic", "trace"),
     order=90,
 )
 def run(

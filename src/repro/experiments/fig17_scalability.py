@@ -24,6 +24,7 @@ DIMENSION_GRID = (256, 512, 1024, 2048)
     title="Scalability: feature dimension sweep and the products dataset",
     datasets=("ddi", "products"),
     cost_hint=6.0,
+    backends=("analytic", "trace"),
     order=100,
 )
 def run(

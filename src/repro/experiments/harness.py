@@ -120,9 +120,48 @@ def ensure_uniform_numerics(
     return tier
 
 
+def result_backend(result: ExperimentResult) -> str:
+    """The simulation backend a result was produced under.
+
+    Results predating the provenance ``backend`` field (or produced
+    without a session stamp) count as ``"analytic"`` — that was the only
+    engine that existed.
+    """
+    provenance = result.metadata.get("provenance") or {}
+    return str(provenance.get("backend", "analytic"))
+
+
+def ensure_uniform_backend(
+    results: Sequence[ExperimentResult],
+    require: Optional[str] = None,
+) -> str:
+    """Refuse to combine/compare results from different backends.
+
+    The numerics-tier rule's counterpart for the simulation backend: a
+    rendered document or golden-hash comparison must never mix analytic
+    and trace rows — trace latencies could silently masquerade as the
+    recorded analytic ones.  Returns the common backend; ``require``
+    pins it (golden comparisons require ``"analytic"``).
+    """
+    engines = {result_backend(result) for result in results}
+    if len(engines) > 1:
+        raise ExperimentError(
+            "refusing to combine results from mixed simulation backends: "
+            f"{sorted(engines)} (re-run everything under one backend)"
+        )
+    engine = engines.pop() if engines else "analytic"
+    if require is not None and engine != require:
+        raise ExperimentError(
+            f"these results were produced under backend={engine!r}; "
+            f"this comparison requires backend={require!r}"
+        )
+    return engine
+
+
 def combine_markdown(results: Sequence[ExperimentResult]) -> str:
     """Concatenate rendered results (the EXPERIMENTS.md generator)."""
     ensure_uniform_numerics(results)
+    ensure_uniform_backend(results)
     return "\n".join(result.to_markdown() for result in results)
 
 

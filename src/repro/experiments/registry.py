@@ -137,10 +137,12 @@ def _execute(
             if spec_payload is not None
             else default_session()
         )
-    # The numerics tier is ambient for the duration of the run: hot
-    # kernels deep in the call tree (Graph SpMM, segment folds) consult
-    # the process mode rather than threading the session everywhere.
-    with session.activate_numerics():
+    # The numerics tier and the simulation backend are ambient for the
+    # duration of the run: hot kernels and backend consumers deep in the
+    # call tree (Graph SpMM, accelerator models, the serving cost model)
+    # consult the process mode rather than threading the session
+    # everywhere.
+    with session.activate_numerics(), session.activate_backend():
         result = run_experiment(experiment_id, session=session, **overrides)
     return session.stamp(result, experiment_id)
 
@@ -171,6 +173,7 @@ def run_all(
     phase_log: Optional[Dict[str, dict]] = None,
     session: Optional[Session] = None,
     numerics: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> List[ExperimentResult]:
     """Run every registered experiment (registry order).
 
@@ -202,6 +205,11 @@ def run_all(
         kernel tier; see MODEL.md section 11).  The tier travels to
         workers inside the spec payload and lands in every result's
         provenance.
+    backend:
+        Override the session's simulation backend for this sweep
+        (``"trace"`` prices every accelerator/serving epoch through the
+        instruction-stream engine; see MODEL.md section 13).  Travels
+        and stamps exactly like ``numerics``.
 
     Both paths record per-experiment wall times so later parallel runs
     schedule longest-first from measured durations.
@@ -216,6 +224,10 @@ def run_all(
         session = Session(
             session.spec.with_(numerics=numerics), cache=session.cache,
         )
+    if backend is not None and backend != session.spec.backend:
+        session = Session(
+            session.spec.with_(backend=backend), cache=session.cache,
+        )
     spec_payload = session.spec.to_dict()
     tasks = [
         (experiment_id,
@@ -224,13 +236,16 @@ def run_all(
         for experiment_id in ids
     ]
     tier = session.spec.numerics
+    engine = session.spec.backend
     if jobs == 1 or len(tasks) <= 1:
         results = []
         durations = {}
         for task in tasks:
             result, seconds, phases = _execute_timed(task, session=session)
             results.append(result)
-            durations[sweep.wall_time_key(task[0], quick, tier)] = seconds
+            durations[
+                sweep.wall_time_key(task[0], quick, tier, engine)
+            ] = seconds
             if phase_log is not None:
                 phase_log[task[0]] = {"wall_s": seconds, "phases": phases}
         sweep.record_wall_times(durations)
@@ -247,5 +262,5 @@ def run_all(
     }
     return sweep.run_scheduled(
         tasks, jobs, quick, _execute_timed, phase_log=phase_log,
-        cost_hints=cost_hints, numerics=tier,
+        cost_hints=cost_hints, numerics=tier, backend=engine,
     )

@@ -34,6 +34,7 @@ POLICY_GRID: Tuple[Tuple[str, int, float], ...] = (
     datasets=("ddi",),
     cost_hint=3.0,
     quick={"num_requests": 60_000},
+    backends=("analytic", "trace"),
     order=310,
 )
 def run(

@@ -26,6 +26,7 @@ FULL_LOADS = (0.5, 0.7, 0.9, 1.0, 1.1, 1.25, 1.4)
     datasets=("ddi",),
     cost_hint=4.0,
     quick={"num_requests": 60_000, "loads": (0.7, 1.0, 1.3)},
+    backends=("analytic", "trace"),
     order=320,
 )
 def run(

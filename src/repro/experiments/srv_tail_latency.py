@@ -27,6 +27,7 @@ FULL_LOADS = (0.4, 0.6, 0.8, 0.9, 0.97)
     datasets=("ddi",),
     cost_hint=6.0,
     quick={"num_requests": 180_000, "loads": (0.5, 0.8, 0.95)},
+    backends=("analytic", "trace"),
     order=300,
 )
 def run(

@@ -134,6 +134,36 @@ SEED_WALL_TIMES: Dict[str, float] = {
     "fast-full:abl-weight-staleness": 0.4,
     "fast-quick:abl-variation": 0.15,
     "fast-full:abl-variation": 0.8,
+    # Trace backend (backend="trace"): accelerator-heavy experiments pay
+    # the one-off per-(workload, stage) program compilation on first
+    # contact — memoised through the artifact cache afterwards — plus
+    # the per-replay scoreboard arithmetic, so cold quick walls sit
+    # modestly above their analytic counterparts.  Training-only and
+    # serving-queueing experiments barely move.  Full values are the
+    # usual conservative 4-5x extrapolations (overestimating a long job
+    # is the safe LPT direction).
+    "trace-quick:fig13": 9.0,
+    "trace-full:fig13": 40.0,
+    "trace-quick:fig14": 2.5,
+    "trace-full:fig14": 10.0,
+    "trace-quick:fig17": 2.0,
+    "trace-full:fig17": 9.0,
+    "trace-quick:abl-scheduler": 7.0,
+    "trace-full:abl-scheduler": 32.0,
+    "trace-quick:abl-allocator": 2.5,
+    "trace-full:abl-allocator": 11.0,
+    "trace-quick:srv_tail_latency": 6.5,
+    "trace-full:srv_tail_latency": 22.0,
+    "trace-quick:fig16": 6.5,
+    "trace-full:fig16": 32.0,
+    "trace-quick:tab05": 2.5,
+    "trace-full:tab05": 12.0,
+    "trace-quick:bke_cross_validation": 5.0,
+    "trace-full:bke_cross_validation": 20.0,
+    # The cross-validation experiment itself runs both engines whatever
+    # the session backend is, so its analytic-session walls match.
+    "quick:bke_cross_validation": 5.0,
+    "full:bke_cross_validation": 20.0,
 }
 
 
@@ -189,13 +219,18 @@ def _worker_init(threads: int) -> None:
 # ----------------------------------------------------------------------
 def wall_time_key(
     experiment_id: str, quick: bool, numerics: str = "exact",
+    backend: str = "analytic",
 ) -> str:
-    """Store key: quick/full (and exact/fast) runs have unrelated
-    durations.  Exact-mode keys keep the historical ``quick:``/``full:``
-    form so recorded times survive the tier's introduction."""
+    """Store key: quick/full (and exact/fast, analytic/trace) runs have
+    unrelated durations.  Default-tier keys keep the historical
+    ``quick:``/``full:`` (and ``fast-quick:``) forms so recorded times
+    survive each tier's introduction; non-default backends prefix
+    outermost (``trace-quick:fig13``, ``trace-fast-quick:fig13``)."""
     mode = "quick" if quick else "full"
     if numerics != "exact":
         mode = f"{numerics}-{mode}"
+    if backend != "analytic":
+        mode = f"{backend}-{mode}"
     return f"{mode}:{experiment_id}"
 
 
@@ -251,6 +286,7 @@ def lpt_order(
     quick: bool,
     cost_hints: Optional[Dict[str, float]] = None,
     numerics: str = "exact",
+    backend: str = "analytic",
 ) -> List[int]:
     """Submission order: longest processing time first.
 
@@ -262,7 +298,7 @@ def lpt_order(
     times = load_wall_times()
     hints = cost_hints or {}
     known = [
-        times.get(wall_time_key(eid, quick, numerics))
+        times.get(wall_time_key(eid, quick, numerics, backend))
         for eid in experiment_ids
     ]
     return sorted(
@@ -305,6 +341,7 @@ def run_scheduled(
     phase_log: Optional[Dict[str, dict]] = None,
     cost_hints: Optional[Dict[str, float]] = None,
     numerics: str = "exact",
+    backend: str = "analytic",
 ) -> List[object]:
     """Fan ``tasks`` out over a worker pool, longest jobs first.
 
@@ -324,7 +361,7 @@ def run_scheduled(
         get_cache().spill_to_disk()
         order = lpt_order(
             [task[0] for task in tasks], quick, cost_hints=cost_hints,
-            numerics=numerics,
+            numerics=numerics, backend=backend,
         )
         results: List[object] = [None] * len(tasks)
         durations: Dict[str, float] = {}
@@ -342,7 +379,7 @@ def run_scheduled(
                 result, seconds, phases = future.result()
                 results[index] = result
                 durations[
-                    wall_time_key(tasks[index][0], quick, numerics)
+                    wall_time_key(tasks[index][0], quick, numerics, backend)
                 ] = seconds
                 if phase_log is not None:
                     phase_log[tasks[index][0]] = {

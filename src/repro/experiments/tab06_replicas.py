@@ -21,6 +21,7 @@ from repro.runtime import Session, default_session, experiment
     title="Crossbar allocation detail",
     datasets=("ddi",),
     cost_hint=2.0,
+    backends=("analytic", "trace"),
     order=120,
 )
 def run(

@@ -22,6 +22,7 @@ from repro.runtime import Session, default_session, experiment
     title="GoPIM speedups: ML predictor vs profiling",
     datasets=("ddi", "collab", "ppa", "proteins", "arxiv"),
     cost_hint=6.0,
+    backends=("analytic", "trace"),
     order=130,
 )
 def run(

@@ -34,15 +34,22 @@ def profile_stage_times(
 
     The returned times are the exact per-stage means; the overhead is the
     total simulated serial execution time spent to observe them (every
-    stage of every micro-batch, ``epochs`` times).  Uses the timing
-    model's vectorized whole-epoch matrix; the retained
+    stage of every micro-batch, ``epochs`` times).  The profiled epoch is
+    priced by the ambient simulation backend (profiling *is* running the
+    workload, so it observes whatever engine the session runs under; the
+    analytic engine reproduces the timing model's vectorized whole-epoch
+    matrix byte-for-byte).  The retained
     :func:`profile_stage_times_reference` walks the stage × micro-batch
     grid in Python and exists only as the equivalence oracle.
     """
+    from repro.backends import EpochProgram, resolve_backend
+
     if epochs < 1:
         raise PredictorError("epochs must be >= 1")
     workload = timing_model.workload
-    matrix = timing_model.stage_time_matrix()
+    matrix = resolve_backend(None).stage_time_matrix(
+        EpochProgram(timing=timing_model)
+    )
     per_stage = matrix.sum(axis=1)
     stage_times: Dict[str, float] = {
         stage.name: float(per_stage[i] / workload.num_microbatches)

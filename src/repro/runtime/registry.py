@@ -55,6 +55,15 @@ class ExperimentSpec:
     wall_clock: bool = False
     order: int = 0
     module: str = ""
+    #: Simulation backends this experiment's results *depend on*.
+    #: Experiments that never touch the pricing path (pure training,
+    #: graph statistics, predictor fitting) list only the default
+    #: ``"analytic"`` — they run fine under any backend but produce
+    #: identical rows.  Accelerator/serving experiments list every
+    #: engine; ``repro list`` prints the matrix.
+    backends: Tuple[str, ...] = ("analytic",)
+    #: Numerics tiers the experiment supports (all do, today).
+    numerics_tiers: Tuple[str, ...] = ("exact", "fast")
 
     def __post_init__(self) -> None:
         if not self.id:
@@ -64,6 +73,19 @@ class ExperimentSpec:
         if self.cost_hint < 0:
             raise ExperimentError(
                 f"{self.id}: cost_hint must be >= 0, got {self.cost_hint}"
+            )
+        if not self.backends:
+            raise ExperimentError(
+                f"{self.id}: backends must name at least one engine"
+            )
+        from repro.backends import BACKEND_NAMES
+
+        unknown = set(self.backends) - set(BACKEND_NAMES)
+        if unknown:
+            raise ExperimentError(
+                f"{self.id}: unknown backend(s) "
+                f"{', '.join(sorted(unknown))}; registered: "
+                f"{', '.join(BACKEND_NAMES)}"
             )
 
 
@@ -79,6 +101,8 @@ def experiment(
     quick: Optional[Dict[str, Any]] = None,
     wall_clock: bool = False,
     order: int = 0,
+    backends: Tuple[str, ...] = ("analytic",),
+    numerics_tiers: Tuple[str, ...] = ("exact", "fast"),
 ) -> Callable[[Callable], Callable]:
     """Register the decorated run function as an experiment.
 
@@ -97,6 +121,8 @@ def experiment(
             wall_clock=wall_clock,
             order=order,
             module=fn.__module__,
+            backends=tuple(backends),
+            numerics_tiers=tuple(numerics_tiers),
         )
         existing = _declared.get(experiment_id)
         if existing is not None and existing.module != spec.module:

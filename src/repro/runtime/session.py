@@ -93,6 +93,23 @@ class Session:
         return kernels.numerics(self.spec.numerics)
 
     # ------------------------------------------------------------------
+    # Simulation backend
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """The spec's simulation backend (``"analytic"`` or ``"trace"``)."""
+        return self.spec.backend
+
+    def activate_backend(self):
+        """Context manager scoping the process simulation backend to
+        this session's — the exact counterpart of
+        :meth:`activate_numerics` for the :mod:`repro.backends`
+        protocol.  The experiment driver wraps each run in both."""
+        from repro import backends
+
+        return backends.use_backend(self.spec.backend)
+
+    # ------------------------------------------------------------------
     # RNG streams
     # ------------------------------------------------------------------
     def rng(self, stream: str, seed: Optional[int] = None) -> np.random.Generator:
@@ -228,6 +245,7 @@ class Session:
             "run_spec": self.spec.to_dict(),
             "config_fingerprint": self.config_fingerprint(),
             "numerics": self.spec.numerics,
+            "backend": self.spec.backend,
         }
 
     def stamp(

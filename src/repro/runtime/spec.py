@@ -86,6 +86,11 @@ class RunSpec:
         default) or ``"fast"`` (relaxed identity: autotuned kernel
         strategies within the :data:`repro.perf.kernels.ERROR_BUDGETS`
         tolerances).
+    backend:
+        Simulation backend — ``"analytic"`` (closed-form latency
+        tables, the default) or ``"trace"`` (instruction-stream
+        compile/replay; see :mod:`repro.backends`).  Scoped through the
+        Session exactly like ``numerics``.
     """
 
     dataset: Optional[str] = None
@@ -96,6 +101,7 @@ class RunSpec:
     hardware: Tuple[Tuple[str, Any], ...] = field(default=())
     accelerator: Optional[str] = None
     numerics: str = "exact"
+    backend: str = "analytic"
 
     def __post_init__(self) -> None:
         if self.seed < 0:
@@ -121,14 +127,22 @@ class RunSpec:
                 f"numerics must be one of {NUMERICS_MODES}, "
                 f"got {self.numerics!r}"
             )
+        from repro.backends import BACKEND_NAMES
+
+        if self.backend not in BACKEND_NAMES:
+            raise ConfigError(
+                f"backend must be one of {BACKEND_NAMES}, "
+                f"got {self.backend!r}"
+            )
 
     # ------------------------------------------------------------------
     def spec_hash(self) -> str:
         """Stable content hash of this spec (hex digest).
 
-        ``numerics`` participates only when it is not the default
-        ``"exact"`` — exact-mode hashes are unchanged from before the
-        field existed, so recorded provenance and cache keys stay valid.
+        ``numerics`` and ``backend`` participate only when they are not
+        their defaults (``"exact"`` / ``"analytic"``) — default-tier
+        hashes are unchanged from before each field existed, so recorded
+        provenance and cache keys stay valid.
         """
         parts = [
             "runspec", self.dataset, self.seed, self.micro_batch,
@@ -136,6 +150,8 @@ class RunSpec:
         ]
         if self.numerics != "exact":
             parts.append(("numerics", self.numerics))
+        if self.backend != "analytic":
+            parts.append(("backend", self.backend))
         return cache_key(*parts)
 
     def resolve_config(self) -> HardwareConfig:
@@ -160,6 +176,7 @@ class RunSpec:
             "hardware": [list(pair) for pair in self.hardware],
             "accelerator": self.accelerator,
             "numerics": self.numerics,
+            "backend": self.backend,
         }
 
     @classmethod

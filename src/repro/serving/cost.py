@@ -78,10 +78,28 @@ class ServingCostModel:
         """Integer-ns ``(num_stages, num_batches)`` service-time matrix.
 
         ``sizes[k]`` is batch ``k``'s request count, ``edges[k]`` its
-        summed seed degrees.  Mirrors
+        summed seed degrees.  Dispatches to the ambient simulation
+        backend's :meth:`~repro.backends.SimulationBackend.service_times_ns`
+        — the analytic engine mirrors
         :meth:`~repro.stages.latency.StageTimingModel.compute_times_ns`
-        term for term, quantised once at the end.
+        term for term (byte-identical to
+        :meth:`batch_times_ns_reference`); the trace engine prices the
+        same constants with per-lane ceil occupancy.
         """
+        from repro.backends import resolve_backend
+
+        sizes_f = np.asarray(sizes, dtype=np.float64)
+        edges_f = np.asarray(edges, dtype=np.float64)
+        if sizes_f.shape != edges_f.shape or sizes_f.ndim != 1:
+            raise ConfigError("sizes and edges must be matching 1-D vectors")
+        return resolve_backend(None).service_times_ns(self, sizes, edges)
+
+    def batch_times_ns_reference(
+        self,
+        sizes: np.ndarray,
+        edges: np.ndarray,
+    ) -> np.ndarray:
+        """The pre-protocol in-place loop — the analytic equivalence oracle."""
         sizes_f = np.asarray(sizes, dtype=np.float64)
         edges_f = np.asarray(edges, dtype=np.float64)
         if sizes_f.shape != edges_f.shape or sizes_f.ndim != 1:
@@ -204,7 +222,14 @@ def build_serving_system(
         intrinsic_edge_parallelism=params.intrinsic_edge_parallelism,
         allocation=None,
     )
-    times = base.batch_times_ns(
+    # Allocator inputs stay analytic regardless of the ambient backend:
+    # provisioning is part of the planner, and keeping the replica split
+    # backend-independent means every backend prices the *same* system
+    # (mirrors AcceleratorModel, whose allocation tables are analytic).
+    from repro.backends import get_backend
+
+    times = get_backend("analytic").service_times_ns(
+        base,
         np.array([max_batch], dtype=np.int64),
         np.array([batch_edges], dtype=np.int64),
     )[:, 0].astype(np.float64)

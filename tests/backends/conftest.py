@@ -1,0 +1,14 @@
+"""Backend-suite fixtures: one provisioned serving system, shared."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import RunSpec, Session
+from repro.serving.cost import build_serving_system
+
+
+@pytest.fixture(scope="package")
+def serving_system():
+    session = Session(RunSpec(seed=0))
+    return build_serving_system(session, "ddi", num_servers=4, max_batch=64)

@@ -64,7 +64,8 @@ def test_registry_contains_all_experiments():
                 "abl-motivation", "abl-endurance", "abl-samples",
                 "abl-quantization", "abl-scheduler", "abl-weight-staleness",
                 "abl-model-family", "srv_tail_latency",
-                "srv_batching_policy", "srv_saturation"}
+                "srv_batching_policy", "srv_saturation",
+                "bke_cross_validation"}
     assert expected == set(REGISTRY)
 
 
